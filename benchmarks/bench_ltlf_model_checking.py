@@ -1,0 +1,91 @@
+"""Section 2.4: temporal-logic pushback and model checking as equivalence.
+
+Two workloads:
+
+* the weakest-precondition calculation the paper walks through (pushing
+  ``always(j <= N)`` back through an increment), swept over the constant N to
+  show the cost tracks the subterm count of the bound test;
+* model checking a bounded counter loop against past-time properties by
+  equivalence and by emptiness.
+"""
+
+import pytest
+
+from repro.core import terms as T
+from repro.core.kmt import KMT
+from repro.theories.incnat import IncNatTheory, Incr
+from repro.theories.ltlf import LtlfTheory
+
+
+@pytest.fixture
+def ltlf_setup():
+    nat = IncNatTheory(variables=("j",))
+    theory = LtlfTheory(nat)
+    kmt = KMT(theory)
+    return kmt, theory, nat
+
+
+@pytest.mark.parametrize("bound", [10, 50, 200])
+def test_ltlf_weakest_precondition_sweep(benchmark, ltlf_setup, bound):
+    """Push always(j <= bound) back through inc(j) (the paper uses bound = 200)."""
+    kmt, theory, nat = ltlf_setup
+    invariant = theory.always(nat.le("j", bound))
+
+    def push():
+        return kmt.weakest_precondition(Incr("j"), invariant)
+
+    wp = benchmark(push)
+    # The result is (j <= bound-1) ; always(j <= bound): check the shape.
+    assert nat.le("j", bound - 1) in {wp} | set(_conjuncts(wp))
+
+
+def _conjuncts(pred):
+    if isinstance(pred, T.PAnd):
+        return _conjuncts(pred.left) | _conjuncts(pred.right)
+    return {pred}
+
+
+def test_ltlf_pushback_equivalence(benchmark, ltlf_setup):
+    """inc j; always(j <= 2)  ==  (j <= 1); always(j <= 2); inc j  (Section 2.4)."""
+    kmt, theory, nat = ltlf_setup
+    lhs = T.tseq(nat.inc("j"), T.ttest(theory.always(nat.le("j", 2))))
+    rhs = T.tseq(
+        T.ttest(T.pand(nat.le("j", 1), theory.always(nat.le("j", 2)))), nat.inc("j")
+    )
+
+    def query():
+        return kmt.equivalent(lhs, rhs)
+
+    assert benchmark(query) is True
+
+
+def test_ltlf_model_check_loop_invariant(benchmark, ltlf_setup):
+    """Model check always(j <= 3) on an anchored bounded counter loop."""
+    kmt, theory, nat = ltlf_setup
+    anchored = T.tseq(
+        T.ttest(T.pand(theory.start(), kmt.parse_pred("j < 1"))),
+        kmt.parse("while (j < 3) do inc(j) end"),
+    )
+    prop = T.ttest(theory.always(nat.le("j", 3)))
+
+    def query():
+        return kmt.equivalent(anchored, T.tseq(anchored, prop))
+
+    result = benchmark.pedantic(query, rounds=2, iterations=1)
+    assert result is True
+
+
+def test_ltlf_model_check_violation_detected(benchmark, ltlf_setup):
+    """The same loop does not satisfy always(j <= 2): detected as inequivalence."""
+    kmt, theory, nat = ltlf_setup
+    anchored = T.tseq(
+        T.ttest(T.pand(theory.start(), kmt.parse_pred("j < 1"))),
+        kmt.parse("while (j < 3) do inc(j) end"),
+    )
+    prop = T.ttest(theory.always(nat.le("j", 2)))
+
+    def query():
+        return kmt.equivalent(anchored, T.tseq(anchored, prop))
+
+    result = benchmark.pedantic(query, rounds=2, iterations=1)
+    assert result is False

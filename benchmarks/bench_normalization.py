@@ -1,0 +1,74 @@
+"""Normalization cost across the shipped client theories.
+
+Not tied to a single figure: this harness characterises the pushback engine
+itself (steps, primitive pushbacks, resulting normal-form size) on one
+representative guarded loop per theory.  It backs the Section 5 observation
+that normalization is fast when Denest is avoided and is the place to watch
+when adding new theories.
+"""
+
+import pytest
+
+from repro.core import terms as T
+from repro.core.pushback import normalize_with_stats
+
+
+def _record(benchmark, theory, term, budget=2_000_000):
+    def run():
+        return normalize_with_stats(term, theory, budget=budget)
+
+    nf, stats = benchmark(run)
+    benchmark.extra_info.update(
+        summands=len(nf),
+        steps=stats.steps,
+        prim_pushbacks=stats.prim_pushbacks,
+        denests=stats.denests,
+    )
+    return nf, stats
+
+
+def test_normalize_incnat_guarded_loop(benchmark, kmt_incnat):
+    term = kmt_incnat.parse("inc(x)*; x > 8")
+    nf, _ = _record(benchmark, kmt_incnat.theory, term)
+    assert len(nf) == 10
+
+
+def test_normalize_bitvec_parity_loop(benchmark, kmt_bitvec):
+    term = kmt_bitvec.parse("x = F; (flip x; flip x)*; x = F")
+    nf, _ = _record(benchmark, kmt_bitvec.theory, term)
+    assert len(nf) >= 1
+
+
+def test_normalize_product_population_count(benchmark, kmt_product):
+    term = kmt_product.parse(
+        "y < 1; a = T; inc(y); (1 + b = T; inc(y)); (1 + c = T; inc(y)); y > 2"
+    )
+    nf, _ = _record(benchmark, kmt_product.theory, term)
+    assert len(nf) >= 1
+
+
+def test_normalize_sets_insertion_loop(benchmark, kmt_sets):
+    term = kmt_sets.parse("(inc(i); add(X, i))*; i > 3; in(X, 3)")
+    nf, _ = _record(benchmark, kmt_sets.theory, term)
+    assert len(nf) >= 1
+
+
+def test_normalize_ltlf_invariant(benchmark, kmt_ltlf_nat):
+    theory = kmt_ltlf_nat.theory
+    nat = theory.inner
+    term = T.tseq(
+        kmt_ltlf_nat.parse("inc(x); inc(x)"),
+        T.ttest(theory.always(nat.le("x", 5))),
+    )
+    nf, _ = _record(benchmark, theory, term)
+    assert len(nf) >= 1
+
+
+def test_normalize_temporal_netkat_waypoint(benchmark, kmt_temporal_netkat):
+    theory = kmt_temporal_netkat.theory
+    term = T.tseq(
+        kmt_temporal_netkat.parse("sw = 1; sw <- 2; sw <- 3"),
+        T.ttest(theory.ever(theory.inner.eq("sw", 2))),
+    )
+    nf, _ = _record(benchmark, theory, term)
+    assert len(nf) >= 1

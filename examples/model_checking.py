@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Model checking programs with LTLf-extended KMT (paper Section 2.4).
+
+The paper's pitch: because LTLf is just another client theory, temporal
+*model checking* becomes equivalence checking.  For a program ``r`` and a
+past-time property ``prop``:
+
+* ``r == r ; prop``        — every run of ``r`` satisfies ``prop``;
+* ``is_empty(r ; ~prop)``  — no run of ``r`` violates ``prop``;
+* ``is_empty(r ; prop)``   — no run satisfies it.
+
+Programs must be *anchored* (``start`` plus an assume on the initial state),
+otherwise the unconstrained input history can trivially violate any property.
+
+This example reproduces the Section 2.4 calculation pushing ``always(j <= N)``
+back through an increment, then model-checks a small counter program.
+
+Run with:  python examples/model_checking.py
+"""
+
+from repro import KMT, IncNatTheory, LtlfTheory
+from repro.core import terms as T
+from repro.theories.incnat import Incr
+
+
+def weakest_precondition_demo(kmt, theory, nat):
+    print("=== Section 2.4: pushing a temporal test through an action ===")
+    invariant = theory.always(nat.le("j", 200))
+    wp = kmt.weakest_precondition(Incr("j"), invariant)
+    print("  always(j <= 200) pushed back through inc(j):")
+    print("    ", kmt.pretty(wp))
+    print("  (the paper's calculation gives (j <= 199) ; always(j <= 200))")
+
+
+def model_check(kmt, theory, program_text, prop, label):
+    program = T.tseq(
+        T.ttest(T.pand(theory.start(), kmt.parse_pred("j < 1"))),
+        kmt.parse(program_text),
+    )
+    holds = kmt.equivalent(program, T.tseq(program, T.ttest(prop)))
+    print(f"  {label}: {holds}")
+    return holds
+
+
+def main():
+    nat = IncNatTheory(variables=("j",))
+    theory = LtlfTheory(nat)
+    kmt = KMT(theory)
+
+    weakest_precondition_demo(kmt, theory, nat)
+
+    print()
+    print("=== model checking a bounded counter loop ===")
+    program = "while (j < 3) do inc(j) end"
+    print(f"  program: start; j < 1; {program}")
+    model_check(kmt, theory, program, theory.always(nat.le("j", 3)),
+                "always(j <= 3) holds on every run")
+    model_check(kmt, theory, program, theory.always(nat.le("j", 2)),
+                "always(j <= 2) holds on every run (expected False)")
+    model_check(kmt, theory, program, theory.ever(nat.gt("j", 2)),
+                "the counter eventually exceeds 2 on every run")
+
+    print()
+    print("=== emptiness-style queries ===")
+    anchored = T.tseq(
+        T.ttest(T.pand(theory.start(), kmt.parse_pred("j < 1"))), kmt.parse(program)
+    )
+    violation = T.ttest(T.pnot(theory.always(nat.le("j", 3))))
+    print("  some run violates always(j <= 3):", not kmt.is_empty(T.tseq(anchored, violation)))
+    overshoot = T.ttest(theory.ever(nat.gt("j", 5)))
+    print("  some run ever sees j > 5:", not kmt.is_empty(T.tseq(anchored, overshoot)))
+
+    print()
+    print("=== temporal reasoning is compositional ===")
+    # LTLf is parameterized by the client theory, so the same operators work
+    # over any base theory; here we reuse them for a history question.
+    history = theory.since(nat.gt("j", 0), nat.gt("j", 2))
+    program2 = T.tseq(
+        T.ttest(T.pand(theory.start(), kmt.parse_pred("j < 1"))),
+        kmt.parse("j := 3; inc(j)"),
+    )
+    print("  after j := 3; inc(j): '(j > 0) since (j > 2)' always holds:",
+          kmt.equivalent(program2, T.tseq(program2, T.ttest(history))))
+
+
+if __name__ == "__main__":
+    main()

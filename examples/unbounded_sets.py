@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Reasoning about unbounded state: sets and maps (paper Sections 1.2 and 2.3).
+
+The headline capability of KMT over prior concrete KATs is *unbounded state*:
+monotonically increasing counters, grow-only sets and write-once-per-key maps
+all admit sound, complete and decidable equational reasoning because their
+weakest preconditions never grow in the maximal-subterm ordering.
+
+This example exercises that capability directly:
+
+* the Section 2.3 claim that ``(inc i; add(X, i))*; i > N; in(X, N)`` is
+  non-empty (the loop can run until the counter passes N, inserting N on the
+  way);
+* persistence of set membership;
+* a parity map over an unbounded key space (Fig. 1c in miniature);
+* what goes wrong if you ask for an operation the framework must reject
+  (comparing two variables would encode counter machines — Section 1.2).
+
+Run with:  python examples/unbounded_sets.py
+"""
+
+from repro import (
+    KMT,
+    BitVecTheory,
+    IncNatTheory,
+    MapTheory,
+    NatBoolMapAdapter,
+    NatExpressionAdapter,
+    ProductTheory,
+    SetTheory,
+)
+
+
+def sets_demo():
+    print("=== unbounded sets over naturals ===")
+    nat = IncNatTheory(variables=("i",))
+    adapter = NatExpressionAdapter(nat, variables=("i",))
+    theory = SetTheory(nat, adapter, set_variables=("X",))
+    kmt = KMT(theory)
+
+    claim = "(inc(i); add(X, i))*; i > 6; in(X, 6)"
+    print("  (inc i; add(X,i))*; i > 6; in(X, 6) is non-empty:", not kmt.is_empty(claim))
+
+    print("  membership persists across later inserts:",
+          kmt.equivalent("in(X, 2); inc(i); add(X, i); in(X, 2)",
+                         "in(X, 2); inc(i); add(X, i)"))
+
+    print("  a freshly inserted value is a member:",
+          kmt.equivalent("i := 5; add(X, i); in(X, 5)", "i := 5; add(X, i)"))
+
+    print("  nothing forces membership of values never inserted:",
+          not kmt.equivalent("i := 5; add(X, i); in(X, 6)", "i := 5; add(X, i)"))
+
+
+def maps_demo():
+    print("=== unbounded maps: the parity table ===")
+    nat = IncNatTheory(variables=("i",))
+    bools = BitVecTheory(variables=("parity",))
+    inner = ProductTheory(nat, bools)
+    adapter = NatBoolMapAdapter(nat, bools, key_variables=("i",), value_variables=("parity",))
+    theory = MapTheory(inner, adapter, map_variables=("odd",))
+    kmt = KMT(theory)
+
+    program = (
+        "i := 0; parity := F; "
+        "(i < 4; odd[i] := parity; inc(i); flip parity)*; ~(i < 4)"
+    )
+    print("  after the loop, odd[1] = T always holds:",
+          kmt.equivalent(f"{program}; odd[1] = T", program))
+    print("  after the loop, odd[2] = T can never hold:",
+          kmt.is_empty(f"{program}; odd[2] = T"))
+
+
+def limits_demo():
+    print("=== what the framework must refuse (Section 1.2) ===")
+    print("  Comparing two variables (x = y) or decrementing a counter would let")
+    print("  terms encode counter machines; IncNat therefore only offers x > n,")
+    print("  inc(x) and x := n.  Asking the parser for anything else fails loudly:")
+    nat = IncNatTheory()
+    kmt = KMT(nat)
+    for bad in ("x = y", "dec(x)", "x := x + y"):
+        try:
+            kmt.parse(bad)
+            print(f"    parsed {bad!r} (unexpected!)")
+        except Exception as error:  # ParseError
+            print(f"    {bad!r:12} rejected: {type(error).__name__}")
+
+
+def main():
+    sets_demo()
+    print()
+    maps_demo()
+    print()
+    limits_demo()
+
+
+if __name__ == "__main__":
+    main()

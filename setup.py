@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed in editable mode on environments without the
+``wheel`` package (offline machines where ``pip install -e .`` cannot build a
+PEP 660 editable wheel): ``python setup.py develop`` or
+``pip install -e . --no-build-isolation`` both work with it present.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,11 @@
+"""Program-analysis layers built on top of the derived KATs.
+
+KAT subsumes propositional Hoare logic (Kozen 1997/2000): a partial-correctness
+triple ``{b} p {c}`` is exactly the equation ``b;p;~c == 0``.  Because KMT
+gives us *decidable* concrete KATs, these encodings become push-button program
+analyses; this package hosts them.
+"""
+
+from repro.analysis.hoare import HoareLogic, HoareTriple
+
+__all__ = ["HoareLogic", "HoareTriple"]

@@ -1,0 +1,136 @@
+"""Propositional Hoare logic on top of a derived KMT.
+
+Kozen showed that KAT subsumes propositional Hoare logic: the partial
+correctness assertion ``{b} p {c}`` ("every terminating run of ``p`` from a
+state satisfying ``b`` ends in a state satisfying ``c``") is equivalent to the
+KAT equation ``b ; p ; ~c == 0``.  The paper leans on this connection when it
+verifies the Fig. 1 programs by checking that their trailing asserts are
+redundant; this module makes the encoding explicit and packages the usual
+Hoare rules as *derived*, checkable facts rather than axioms.
+
+Because the underlying KMT equivalence is decidable, `HoareLogic.holds` is a
+complete decision procedure for triples over the client theory's tests, and
+`HoareLogic.explain` produces a counterexample cell when a triple fails.
+"""
+
+from __future__ import annotations
+
+from repro.core import terms as T
+
+
+class HoareTriple:
+    """A partial-correctness triple ``{pre} program {post}``."""
+
+    __slots__ = ("pre", "program", "post")
+
+    def __init__(self, pre, program, post):
+        if not isinstance(pre, T.Pred) or not isinstance(post, T.Pred):
+            raise TypeError("pre and post conditions must be predicates")
+        if not isinstance(program, T.Term):
+            raise TypeError("the program must be a term")
+        self.pre = pre
+        self.program = program
+        self.post = post
+
+    def encoding(self):
+        """The KAT term whose emptiness is equivalent to the triple's validity."""
+        return T.tseq(
+            T.ttest(self.pre), T.tseq(self.program, T.ttest(T.pnot(self.post)))
+        )
+
+    def __repr__(self):
+        return (
+            "{" + self.pre.pretty() + "} "
+            + self.program.pretty()
+            + " {" + self.post.pretty() + "}"
+        )
+
+
+class HoareLogic:
+    """Hoare-style reasoning over one KMT instance."""
+
+    def __init__(self, kmt):
+        self.kmt = kmt
+
+    # ------------------------------------------------------------------
+    # validity
+    # ------------------------------------------------------------------
+    def triple(self, pre, program, post):
+        """Build a :class:`HoareTriple`, parsing any string arguments."""
+        if isinstance(pre, str):
+            pre = self.kmt.parse_pred(pre)
+        if isinstance(post, str):
+            post = self.kmt.parse_pred(post)
+        if isinstance(program, str):
+            program = self.kmt.parse(program)
+        return HoareTriple(pre, program, post)
+
+    def holds(self, pre, program, post):
+        """Decide ``{pre} program {post}`` (partial correctness)."""
+        return self.kmt.is_empty(self.triple(pre, program, post).encoding())
+
+    def explain(self, pre, program, post):
+        """Return ``None`` if the triple holds, else a counterexample description.
+
+        The counterexample is the equivalence-checker's distinguishing cell for
+        ``b;p;~c`` versus ``0``: a satisfiable combination of primitive tests
+        under which the program can run and end in a ``~post`` state.
+        """
+        encoding = self.triple(pre, program, post).encoding()
+        result = self.kmt.check_equivalent(encoding, T.tzero())
+        if result.equivalent:
+            return None
+        return result.counterexample
+
+    # ------------------------------------------------------------------
+    # derived rules, as checkable facts
+    # ------------------------------------------------------------------
+    def skip_rule(self, pre):
+        """``{b} skip {b}`` always holds."""
+        return self.holds(pre, T.tone(), pre)
+
+    def sequence_rule(self, pre, first, middle, second, post):
+        """If ``{pre} first {middle}`` and ``{middle} second {post}`` then
+        ``{pre} first;second {post}``.  Returns the conclusion's verdict after
+        checking the premises (raises if a premise fails)."""
+        first = self.kmt._coerce_term(first)
+        second = self.kmt._coerce_term(second)
+        if not self.holds(pre, first, middle):
+            raise ValueError("sequence rule premise {pre} first {middle} does not hold")
+        if not self.holds(middle, second, post):
+            raise ValueError("sequence rule premise {middle} second {post} does not hold")
+        return self.holds(pre, T.tseq(first, second), post)
+
+    def consequence_rule(self, stronger_pre, pre, program, post, weaker_post):
+        """Strengthening the precondition / weakening the postcondition preserves validity."""
+        if isinstance(stronger_pre, str):
+            stronger_pre = self.kmt.parse_pred(stronger_pre)
+        if isinstance(pre, str):
+            pre = self.kmt.parse_pred(pre)
+        if isinstance(post, str):
+            post = self.kmt.parse_pred(post)
+        if isinstance(weaker_post, str):
+            weaker_post = self.kmt.parse_pred(weaker_post)
+        if not self.kmt.less_or_equal(T.ttest(stronger_pre), T.ttest(pre)):
+            raise ValueError("consequence rule requires stronger_pre <= pre")
+        if not self.kmt.less_or_equal(T.ttest(post), T.ttest(weaker_post)):
+            raise ValueError("consequence rule requires post <= weaker_post")
+        if not self.holds(pre, program, post):
+            raise ValueError("consequence rule premise {pre} program {post} does not hold")
+        return self.holds(stronger_pre, program, weaker_post)
+
+    def while_rule(self, invariant, guard, body):
+        """``{inv} while (guard) { body } {inv ; ~guard}`` given ``{inv;guard} body {inv}``.
+
+        Returns the conclusion's verdict after checking the loop-invariant
+        premise (raises if the premise fails).
+        """
+        if isinstance(invariant, str):
+            invariant = self.kmt.parse_pred(invariant)
+        if isinstance(guard, str):
+            guard = self.kmt.parse_pred(guard)
+        body = self.kmt._coerce_term(body)
+        if not self.holds(T.pand(invariant, guard), body, invariant):
+            raise ValueError("while rule premise {inv;guard} body {inv} does not hold")
+        loop = T.tseq(T.tstar(T.tseq(T.ttest(guard), body)), T.ttest(T.pnot(guard)))
+        return self.holds(invariant, loop, T.pand(invariant, T.pnot(guard)))

@@ -1,0 +1,170 @@
+"""Command-line interface: the paper's term-partitioning tool plus utilities.
+
+Usage (installed as the ``kmt`` console script, also ``python -m repro``)::
+
+    kmt equiv   --theory incnat "inc(x)*; x > 10" "inc(x)*; inc(x)*; x > 10"
+    kmt norm    --theory bitvec "x = F; (flip x; flip x)*"
+    kmt sat     --theory incnat "x > 5; ~(x > 3)"
+    kmt classes --theory incnat terms.txt        # one term per line, '#' comments
+
+``classes`` mirrors the paper's command-line tool: given KMT terms in some
+supported theory, it partitions them into equivalence classes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.kmt import KMT
+from repro.core.pretty import pretty_normal_form
+from repro.theories.bitvec import BitVecTheory
+from repro.theories.incnat import IncNatTheory
+from repro.theories.ltlf import LtlfTheory
+from repro.theories.netkat import NetKatTheory
+from repro.theories.product import ProductTheory
+from repro.theories.temporal_netkat import temporal_netkat
+from repro.utils.errors import KmtError
+
+
+def build_theory(name):
+    """Construct one of the named theory presets used by the CLI."""
+    name = name.lower()
+    if name in ("incnat", "nat", "n"):
+        return IncNatTheory()
+    if name in ("bitvec", "bool", "b"):
+        return BitVecTheory()
+    if name in ("netkat",):
+        return NetKatTheory()
+    if name in ("product", "natbool", "nxb"):
+        return ProductTheory(IncNatTheory(), BitVecTheory())
+    if name in ("ltlf-nat", "ltlf"):
+        return LtlfTheory(IncNatTheory())
+    if name in ("ltlf-bool",):
+        return LtlfTheory(BitVecTheory())
+    if name in ("temporal-netkat", "tnetkat"):
+        return temporal_netkat()
+    raise KmtError(
+        f"unknown theory {name!r}; available: incnat, bitvec, netkat, product, "
+        "ltlf-nat, ltlf-bool, temporal-netkat"
+    )
+
+
+def _make_kmt(args):
+    return KMT(build_theory(args.theory), budget=args.budget)
+
+
+def cmd_equiv(args):
+    kmt = _make_kmt(args)
+    started = time.perf_counter()
+    result = kmt.check_equivalent(args.left, args.right)
+    elapsed = time.perf_counter() - started
+    verdict = "equivalent" if result.equivalent else "NOT equivalent"
+    print(f"{verdict}  ({elapsed:.3f}s, {result.cells_explored} cells explored)")
+    if result.counterexample is not None:
+        print("counterexample:", result.counterexample.describe())
+    return 0 if result.equivalent else 1
+
+
+def cmd_norm(args):
+    kmt = _make_kmt(args)
+    nf, stats = kmt.normalize_with_stats(kmt.parse(args.term))
+    print(pretty_normal_form(nf))
+    print(
+        f"# {len(nf)} summands, {stats.steps} pushback steps, "
+        f"{stats.prim_pushbacks} primitive pushbacks",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_sat(args):
+    kmt = _make_kmt(args)
+    satisfiable = kmt.satisfiable(args.pred)
+    print("satisfiable" if satisfiable else "unsatisfiable")
+    return 0 if satisfiable else 1
+
+
+def cmd_classes(args):
+    kmt = _make_kmt(args)
+    lines = []
+    with open(args.file, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if line and not line.startswith("#"):
+                lines.append(line)
+    terms = [kmt.parse(line) for line in lines]
+    classes = kmt.partition(terms)
+    for class_index, members in enumerate(classes):
+        print(f"class {class_index}:")
+        for member in members:
+            print(f"  {lines[member]}")
+    return 0
+
+
+def cmd_run(args):
+    kmt = _make_kmt(args)
+    traces = kmt.run(args.term)
+    if not traces:
+        print("no traces (the program rejects the initial state)")
+        return 1
+    for trace in sorted(traces, key=lambda t: (len(t), repr(t))):
+        actions = " ; ".join(str(entry.action) for entry in trace if entry.action is not None)
+        print(f"[{len(trace) - 1} steps] {actions or '<no actions>'}  ->  {trace.last_state!r}")
+    return 0
+
+
+def make_arg_parser():
+    parser = argparse.ArgumentParser(
+        prog="kmt",
+        description="Kleene algebra modulo theories: equivalence, normalization, satisfiability.",
+    )
+    parser.add_argument(
+        "--theory",
+        default="incnat",
+        help="theory preset: incnat, bitvec, netkat, product, ltlf-nat, ltlf-bool, temporal-netkat",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=500_000,
+        help="pushback step budget before normalization gives up",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    equiv = sub.add_parser("equiv", help="decide equivalence of two terms")
+    equiv.add_argument("left")
+    equiv.add_argument("right")
+    equiv.set_defaults(func=cmd_equiv)
+
+    norm = sub.add_parser("norm", help="print the normal form of a term")
+    norm.add_argument("term")
+    norm.set_defaults(func=cmd_norm)
+
+    sat = sub.add_parser("sat", help="decide satisfiability of a predicate")
+    sat.add_argument("pred")
+    sat.set_defaults(func=cmd_sat)
+
+    classes = sub.add_parser("classes", help="partition a file of terms into equivalence classes")
+    classes.add_argument("file")
+    classes.set_defaults(func=cmd_classes)
+
+    run = sub.add_parser("run", help="run a term from the theory's initial state")
+    run.add_argument("term")
+    run.set_defaults(func=cmd_run)
+    return parser
+
+
+def main(argv=None):
+    parser = make_arg_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KmtError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

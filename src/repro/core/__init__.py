@@ -1,0 +1,25 @@
+"""Core KMT framework: terms, semantics, normalization, and decision procedure.
+
+The modules in this package implement Section 3 and Section 4 of the paper:
+
+* :mod:`repro.core.terms` — the KAT term language (Fig. 5 syntax) with
+  hash-consed smart constructors.
+* :mod:`repro.core.theory` — the client-theory interface (the ``THEORY``
+  signature of Section 4).
+* :mod:`repro.core.semantics` — the tracing semantics (Fig. 5).
+* :mod:`repro.core.nnf` — negation normal form (Fig. 7).
+* :mod:`repro.core.ordering` — the maximal-subterm ordering (Fig. 6).
+* :mod:`repro.core.normalform` — normal forms Σ aᵢ·mᵢ and splitting.
+* :mod:`repro.core.pushback` — the pushback relations and normalization
+  (Fig. 8).
+* :mod:`repro.core.regexes`, :mod:`repro.core.automata` — regular
+  interpretation of restricted actions and word-automata equivalence.
+* :mod:`repro.core.decision` — the normalization-based equivalence decision
+  procedure (Theorem 3.7).
+* :mod:`repro.core.kmt` — the ``KMT`` facade combining everything for a given
+  client theory.
+"""
+
+from repro.core.kmt import KMT
+
+__all__ = ["KMT"]

@@ -1,0 +1,273 @@
+"""Word automata over restricted actions (paper Section 4.1).
+
+The decision procedure compares the restricted actions of two normal forms as
+regular languages.  Following the paper's implementation we use *implicit*
+automata whose states are restricted-action terms, with the transition
+relation generated on the fly by the Brzozowski derivative, and decide
+equivalence with the Hopcroft–Karp union-find algorithm.  Hash-consed smart
+constructors keep the set of distinct derivative states small (derivatives of
+a regular expression are finite up to the ACI axioms the smart constructors
+apply).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core import terms as T
+from repro.utils.errors import KmtError
+
+
+# ---------------------------------------------------------------------------
+# Brzozowski derivatives
+# ---------------------------------------------------------------------------
+
+
+def nullable(m):
+    """True iff the language of ``m`` contains the empty word."""
+    if isinstance(m, T.TTest):
+        if isinstance(m.pred, T.POne):
+            return True
+        if isinstance(m.pred, T.PZero):
+            return False
+        raise KmtError(f"not a restricted action: {m!r}")
+    if isinstance(m, T.TPrim):
+        return False
+    if isinstance(m, T.TPlus):
+        return nullable(m.left) or nullable(m.right)
+    if isinstance(m, T.TSeq):
+        return nullable(m.left) and nullable(m.right)
+    if isinstance(m, T.TStar):
+        return True
+    raise TypeError(f"not a Term: {m!r}")
+
+
+def canonical(m):
+    """Rewrite a restricted action into an ACI-canonical form.
+
+    Brzozowski's theorem guarantees finitely many derivatives only *modulo*
+    associativity, commutativity and idempotence of ``+`` (and the unit/zero
+    laws).  The binary smart constructors in :mod:`repro.core.terms` only
+    catch syntactically adjacent duplicates, so without this pass the
+    derivative states of a large sum keep growing forever.  We flatten sums
+    into sorted, deduplicated lists and right-associate sequences; together
+    with hash consing this keeps the implicit automaton finite.
+    """
+    if isinstance(m, T.TTest):
+        return m
+    if isinstance(m, T.TPrim):
+        return m
+    if isinstance(m, T.TStar):
+        return T.tstar(canonical(m.arg))
+    if isinstance(m, T.TSeq):
+        factors = []
+        _flatten_seq(m, factors)
+        canon_factors = []
+        for factor in factors:
+            cf = canonical(factor)
+            if isinstance(cf, T.TTest) and isinstance(cf.pred, T.PZero):
+                return T.tzero()
+            if isinstance(cf, T.TTest) and isinstance(cf.pred, T.POne):
+                continue
+            canon_factors.append(cf)
+        result = T.tone()
+        for factor in reversed(canon_factors):
+            result = T.tseq(factor, result)
+        return result
+    if isinstance(m, T.TPlus):
+        summands = set()
+        _flatten_plus(m, summands)
+        canon_summands = set()
+        for summand in summands:
+            cs = canonical(summand)
+            if isinstance(cs, T.TTest) and isinstance(cs.pred, T.PZero):
+                continue
+            canon_summands.add(cs)
+        if not canon_summands:
+            return T.tzero()
+        ordered = sorted(canon_summands, key=lambda t: t.sort_key())
+        result = ordered[0]
+        for summand in ordered[1:]:
+            result = T.tplus(result, summand)
+        return result
+    raise TypeError(f"not a Term: {m!r}")
+
+
+def _flatten_plus(m, out):
+    if isinstance(m, T.TPlus):
+        _flatten_plus(m.left, out)
+        _flatten_plus(m.right, out)
+    else:
+        out.add(m)
+
+
+def _flatten_seq(m, out):
+    if isinstance(m, T.TSeq):
+        _flatten_seq(m.left, out)
+        _flatten_seq(m.right, out)
+    else:
+        out.append(m)
+
+
+def derivative(m, pi):
+    """The ACI-canonical Brzozowski derivative of ``m`` w.r.t. primitive action ``pi``."""
+    return canonical(_derivative_raw(m, pi))
+
+
+def _derivative_raw(m, pi):
+    if isinstance(m, T.TTest):
+        if isinstance(m.pred, (T.POne, T.PZero)):
+            return T.tzero()
+        raise KmtError(f"not a restricted action: {m!r}")
+    if isinstance(m, T.TPrim):
+        return T.tone() if m.pi == pi else T.tzero()
+    if isinstance(m, T.TPlus):
+        return T.tplus(_derivative_raw(m.left, pi), _derivative_raw(m.right, pi))
+    if isinstance(m, T.TSeq):
+        first = T.tseq(_derivative_raw(m.left, pi), m.right)
+        if nullable(m.left):
+            return T.tplus(first, _derivative_raw(m.right, pi))
+        return first
+    if isinstance(m, T.TStar):
+        return T.tseq(_derivative_raw(m.arg, pi), m)
+    raise TypeError(f"not a Term: {m!r}")
+
+
+def alphabet(*terms):
+    """The combined primitive-action alphabet of the given restricted actions."""
+    out = set()
+    for m in terms:
+        out |= T.primitive_actions(m)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# language emptiness
+# ---------------------------------------------------------------------------
+
+
+def language_is_empty(m):
+    """True iff ``R(m)`` is empty (no reachable nullable derivative)."""
+    m = canonical(m)
+    sigma = sorted(alphabet(m), key=repr)
+    seen = {m}
+    queue = deque([m])
+    while queue:
+        state = queue.popleft()
+        if nullable(state):
+            return False
+        for pi in sigma:
+            nxt = derivative(state, pi)
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Hopcroft–Karp equivalence
+# ---------------------------------------------------------------------------
+
+
+class _UnionFind:
+    """Union-find over hashable items (path compression, union by size)."""
+
+    def __init__(self):
+        self.parent = {}
+        self.size = {}
+
+    def find(self, item):
+        if item not in self.parent:
+            self.parent[item] = item
+            self.size[item] = 1
+            return item
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a, b):
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return True
+
+
+def language_equivalent(m, n, max_states=None):
+    """Decide ``R(m) == R(n)`` with Hopcroft–Karp over Brzozowski derivatives.
+
+    ``max_states`` optionally bounds the number of explored state pairs as a
+    safety valve (derivatives modulo the smart-constructor rewrites are finite,
+    so the default of no bound terminates).
+    Returns ``True``/``False``.
+    """
+    if not T.is_restricted(m) or not T.is_restricted(n):
+        raise KmtError("language_equivalent expects restricted actions")
+    m, n = canonical(m), canonical(n)
+    sigma = sorted(alphabet(m, n), key=repr)
+    uf = _UnionFind()
+    uf.union(("L", m), ("R", n))
+    queue = deque([(m, n)])
+    explored = 0
+    while queue:
+        p, q = queue.popleft()
+        explored += 1
+        if max_states is not None and explored > max_states:
+            raise KmtError(f"language_equivalent exceeded {max_states} state pairs")
+        if nullable(p) != nullable(q):
+            return False
+        for pi in sigma:
+            dp = derivative(p, pi)
+            dq = derivative(q, pi)
+            if uf.union(("L", dp), ("R", dq)):
+                queue.append((dp, dq))
+    return True
+
+
+def counterexample_word(m, n, max_length=16):
+    """A shortest word accepted by exactly one of ``m``/``n``, or None.
+
+    Breadth-first product search; mainly a debugging aid for failed
+    equivalences and for tests of :func:`language_equivalent` itself.
+    """
+    m, n = canonical(m), canonical(n)
+    sigma = sorted(alphabet(m, n), key=repr)
+    seen = {(m, n)}
+    queue = deque([((), m, n)])
+    while queue:
+        word, p, q = queue.popleft()
+        if nullable(p) != nullable(q):
+            return word
+        if len(word) >= max_length:
+            continue
+        for pi in sigma:
+            dp = derivative(p, pi)
+            dq = derivative(q, pi)
+            if (dp, dq) not in seen:
+                seen.add((dp, dq))
+                queue.append((word + (pi,), dp, dq))
+    return None
+
+
+def derivative_states(m, max_states=10_000):
+    """All derivative states reachable from ``m`` (for diagnostics/benchmarks)."""
+    m = canonical(m)
+    sigma = sorted(alphabet(m), key=repr)
+    seen = {m}
+    queue = deque([m])
+    while queue:
+        state = queue.popleft()
+        for pi in sigma:
+            nxt = derivative(state, pi)
+            if nxt not in seen:
+                if len(seen) >= max_states:
+                    raise KmtError(f"derivative_states exceeded {max_states} states")
+                seen.add(nxt)
+                queue.append(nxt)
+    return seen

@@ -1,0 +1,229 @@
+"""The normalization-based equivalence decision procedure (Theorem 3.7).
+
+To decide ``p == q``:
+
+1. normalize both sides into ``x = Σ aᵢ·mᵢ`` and ``y = Σ bⱼ·nⱼ`` (Fig. 8);
+2. make the tests *locally unambiguous* and *pairwise comparable*: partition
+   the state space into "cells", one per Boolean combination of the primitive
+   tests appearing in either normal form — this refines the ``x̂`` / ``ẍ``
+   construction from the completeness proof (the proof combines whole guards
+   ``aᵢ``; assigning the primitive tests underneath them induces a finer
+   partition on which every guard still has a definite truth value, so
+   comparing per refined cell is equivalent);
+3. discard cells whose combination of primitive tests is unsatisfiable, using
+   the client theory's conjunction oracle (``satisfiable_conjunction``);
+4. in every remaining cell, the actions that can run on the left are the
+   ``mᵢ`` whose guard evaluates to true in the cell (similarly on the right);
+   compare the two sums of restricted actions as regular languages with
+   Hopcroft–Karp over Brzozowski derivatives.
+
+The enumeration of cells is worst-case exponential in the number of distinct
+primitive tests (exactly the ``O(2^{2^n})`` growth the paper reports for
+nested sums under star); it is pruned by checking theory consistency of
+*partial* assignments, which collapses the search dramatically for theories
+such as IncNat where most combinations of bounds are contradictory.  The
+unpruned variant is kept for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.core import terms as T
+from repro.core.automata import counterexample_word, language_equivalent, language_is_empty
+from repro.core.pushback import DEFAULT_BUDGET, Normalizer
+from repro.smt.literals import evaluate
+
+
+class Counterexample:
+    """Evidence that two terms are inequivalent.
+
+    ``cell`` maps each primitive test (a theory ``alpha``) to the Boolean
+    value it takes in the distinguishing cell; ``word`` is a word of primitive
+    actions accepted by exactly one side within that cell.
+    """
+
+    def __init__(self, cell, left_actions, right_actions, word):
+        self.cell = list(cell)
+        self.left_actions = left_actions
+        self.right_actions = right_actions
+        self.word = word
+
+    def describe(self):
+        guards = ", ".join(
+            f"{alpha}={'T' if value else 'F'}" for alpha, value in self.cell
+        )
+        word = " ".join(str(pi) for pi in self.word) if self.word else "<empty word>"
+        return (
+            f"in the cell [{guards}] the two terms allow different action words; "
+            f"distinguishing word: {word}"
+        )
+
+    def __repr__(self):
+        return f"Counterexample({self.describe()})"
+
+
+class EquivalenceResult:
+    """Outcome of an equivalence query."""
+
+    def __init__(self, equivalent, counterexample=None, cells_explored=0, cells_pruned=0):
+        self.equivalent = equivalent
+        self.counterexample = counterexample
+        self.cells_explored = cells_explored
+        self.cells_pruned = cells_pruned
+
+    def __bool__(self):
+        return self.equivalent
+
+    def __repr__(self):
+        status = "equivalent" if self.equivalent else "inequivalent"
+        return (
+            f"EquivalenceResult({status}, cells_explored={self.cells_explored}, "
+            f"cells_pruned={self.cells_pruned})"
+        )
+
+
+class EquivalenceChecker:
+    """Decides equivalence, ordering and emptiness of KMT terms for one theory."""
+
+    def __init__(self, theory, budget=DEFAULT_BUDGET, prune_unsat_cells=True):
+        self.theory = theory
+        self.budget = budget
+        self.prune_unsat_cells = prune_unsat_cells
+
+    # ------------------------------------------------------------------
+    # normalization helpers
+    # ------------------------------------------------------------------
+    def normalize(self, term):
+        return Normalizer(self.theory, budget=self.budget).normalize(term)
+
+    # ------------------------------------------------------------------
+    # equivalence
+    # ------------------------------------------------------------------
+    def equivalent(self, p, q):
+        """True iff ``p == q`` in the derived equational theory."""
+        return self.check_equivalent(p, q).equivalent
+
+    def check_equivalent(self, p, q):
+        """Like :meth:`equivalent` but returns a full :class:`EquivalenceResult`."""
+        x = self.normalize(p)
+        y = self.normalize(q)
+        return self.check_equivalent_nf(x, y)
+
+    def check_equivalent_nf(self, x, y):
+        """Compare two already-normalized terms."""
+        atoms = _collect_atoms(x, y)
+        search = _CellSearch(self.theory, atoms, x, y, self.prune_unsat_cells)
+        counterexample = search.run()
+        return EquivalenceResult(
+            equivalent=counterexample is None,
+            counterexample=counterexample,
+            cells_explored=search.cells_explored,
+            cells_pruned=search.cells_pruned,
+        )
+
+    # ------------------------------------------------------------------
+    # derived queries
+    # ------------------------------------------------------------------
+    def less_or_equal(self, p, q):
+        """``p <= q`` in the natural order, i.e. ``p + q == q``."""
+        return self.equivalent(T.tplus(p, q), q)
+
+    def is_empty(self, p):
+        """True iff ``p`` denotes no traces at all (``p == 0``).
+
+        A normal form is empty iff every summand is ruled out: either its test
+        is unsatisfiable or its restricted action denotes the empty language.
+        """
+        x = self.normalize(p)
+        for test, action in x.pairs:
+            if not self.theory.satisfiable(test):
+                continue
+            if language_is_empty(action):
+                continue
+            return False
+        return True
+
+    def partition(self, terms):
+        """Partition a list of terms into equivalence classes.
+
+        Mirrors the paper's command-line tool.  Returns a list of lists of
+        indices into ``terms``.
+        """
+        classes = []  # list of (representative normal form, [indices])
+        for idx, term in enumerate(terms):
+            nf = self.normalize(term)
+            placed = False
+            for rep_nf, members in classes:
+                if self.check_equivalent_nf(nf, rep_nf).equivalent:
+                    members.append(idx)
+                    placed = True
+                    break
+            if not placed:
+                classes.append((nf, [idx]))
+        return [members for _, members in classes]
+
+
+# ---------------------------------------------------------------------------
+# cell enumeration
+# ---------------------------------------------------------------------------
+
+
+def _collect_atoms(x, y):
+    """All primitive tests underneath the guards of two normal forms, sorted."""
+    atoms = set()
+    for nf in (x, y):
+        for test, _ in nf.pairs:
+            atoms |= T.primitive_tests_of_pred(test)
+    wrapped = sorted((T.pprim(a) for a in atoms), key=lambda p: p.sort_key())
+    return [p.alpha for p in wrapped]
+
+
+class _CellSearch:
+    """Recursive enumeration of primitive-test cells with consistency pruning."""
+
+    def __init__(self, theory, atoms, x, y, prune):
+        self.theory = theory
+        self.atoms = atoms
+        self.x = x
+        self.y = y
+        self.prune = prune
+        self.cells_explored = 0
+        self.cells_pruned = 0
+
+    def run(self):
+        return self._go(0, [])
+
+    def _go(self, index, literals):
+        if self.prune and literals:
+            if not self.theory.satisfiable_conjunction(literals):
+                self.cells_pruned += 1
+                return None
+        if index == len(self.atoms):
+            if not self.prune and literals:
+                if not self.theory.satisfiable_conjunction(literals):
+                    self.cells_pruned += 1
+                    return None
+            return self._compare_cell(literals)
+        alpha = self.atoms[index]
+        for value in (True, False):
+            found = self._go(index + 1, literals + [(alpha, value)])
+            if found is not None:
+                return found
+        return None
+
+    def _compare_cell(self, literals):
+        self.cells_explored += 1
+        assignment = {alpha: value for alpha, value in literals}
+        left = T.tplus_all(
+            action
+            for test, action in self.x.sorted_pairs()
+            if evaluate(test, assignment)
+        )
+        right = T.tplus_all(
+            action
+            for test, action in self.y.sorted_pairs()
+            if evaluate(test, assignment)
+        )
+        if language_equivalent(left, right):
+            return None
+        word = counterexample_word(left, right)
+        return Counterexample(literals, left, right, word)

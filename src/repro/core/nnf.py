@@ -1,0 +1,53 @@
+"""Negation normal form for predicates (paper Fig. 7).
+
+``nnf`` pushes negations inwards with De Morgan's laws until they only occur
+on primitive tests.  The pushback rule ``PrimNeg`` relies on this, and the
+monotonicity of ``nnf`` with respect to the maximal-subterm ordering
+(Lemma B.18) is what keeps normalization terminating in the presence of
+negation.
+"""
+
+from __future__ import annotations
+
+from repro.core import terms as T
+
+
+def nnf(pred):
+    """Return an equivalent predicate in negation normal form."""
+    if isinstance(pred, (T.PZero, T.POne, T.PPrim)):
+        return pred
+    if isinstance(pred, T.POr):
+        return T.por(nnf(pred.left), nnf(pred.right))
+    if isinstance(pred, T.PAnd):
+        return T.pand(nnf(pred.left), nnf(pred.right))
+    if isinstance(pred, T.PNot):
+        return nnf_neg(pred.arg)
+    raise TypeError(f"not a Pred: {pred!r}")
+
+
+def nnf_neg(pred):
+    """Return an NNF predicate equivalent to ``~pred``."""
+    if isinstance(pred, T.PZero):
+        return T.pone()
+    if isinstance(pred, T.POne):
+        return T.pzero()
+    if isinstance(pred, T.PPrim):
+        return T.pnot(pred)
+    if isinstance(pred, T.PNot):
+        return nnf(pred.arg)
+    if isinstance(pred, T.POr):
+        return T.pand(nnf_neg(pred.left), nnf_neg(pred.right))
+    if isinstance(pred, T.PAnd):
+        return T.por(nnf_neg(pred.left), nnf_neg(pred.right))
+    raise TypeError(f"not a Pred: {pred!r}")
+
+
+def is_nnf(pred):
+    """True iff negation only occurs applied to primitive tests."""
+    if isinstance(pred, (T.PZero, T.POne, T.PPrim)):
+        return True
+    if isinstance(pred, T.PNot):
+        return isinstance(pred.arg, T.PPrim)
+    if isinstance(pred, (T.PAnd, T.POr)):
+        return is_nnf(pred.left) and is_nnf(pred.right)
+    raise TypeError(f"not a Pred: {pred!r}")

@@ -1,0 +1,73 @@
+"""Pretty printing of predicates and terms with minimal parentheses.
+
+The ``pretty()`` methods on term nodes are fully parenthesized (useful for
+debugging); this module produces the concrete syntax accepted by
+:mod:`repro.core.parser`, with the usual precedences ``*  >  ;  >  +`` and
+``~`` binding tightest among the predicate connectives.
+"""
+
+from __future__ import annotations
+
+from repro.core import terms as T
+
+_PREC_PLUS = 0
+_PREC_SEQ = 1
+_PREC_STAR = 2
+_PREC_ATOM = 3
+
+
+def pretty_pred(pred, parent_prec=_PREC_PLUS):
+    """Render a predicate in concrete syntax."""
+    if isinstance(pred, T.PZero):
+        return "false"
+    if isinstance(pred, T.POne):
+        return "true"
+    if isinstance(pred, T.PPrim):
+        return str(pred.alpha)
+    if isinstance(pred, T.PNot):
+        inner = pretty_pred(pred.arg, _PREC_ATOM)
+        if isinstance(pred.arg, (T.PZero, T.POne, T.PPrim)):
+            return f"not {inner}"
+        return f"not ({pretty_pred(pred.arg, _PREC_PLUS)})"
+    if isinstance(pred, T.PAnd):
+        # The right operand is printed one level tighter so that right-nested
+        # conjunctions re-parse with their original association.
+        text = f"{pretty_pred(pred.left, _PREC_SEQ)}; {pretty_pred(pred.right, _PREC_SEQ + 1)}"
+        return f"({text})" if parent_prec > _PREC_SEQ else text
+    if isinstance(pred, T.POr):
+        text = f"{pretty_pred(pred.left, _PREC_PLUS)} + {pretty_pred(pred.right, _PREC_PLUS + 1)}"
+        return f"({text})" if parent_prec > _PREC_PLUS else text
+    raise TypeError(f"not a Pred: {pred!r}")
+
+
+def pretty_term(term, parent_prec=_PREC_PLUS):
+    """Render a term in concrete syntax."""
+    if isinstance(term, T.TTest):
+        return pretty_pred(term.pred, parent_prec)
+    if isinstance(term, T.TPrim):
+        return str(term.pi)
+    if isinstance(term, T.TPlus):
+        text = f"{pretty_term(term.left, _PREC_PLUS)} + {pretty_term(term.right, _PREC_PLUS + 1)}"
+        return f"({text})" if parent_prec > _PREC_PLUS else text
+    if isinstance(term, T.TSeq):
+        text = f"{pretty_term(term.left, _PREC_SEQ)}; {pretty_term(term.right, _PREC_SEQ + 1)}"
+        return f"({text})" if parent_prec > _PREC_SEQ else text
+    if isinstance(term, T.TStar):
+        inner = pretty_term(term.arg, _PREC_ATOM)
+        if isinstance(term.arg, (T.TPrim,)) or (
+            isinstance(term.arg, T.TTest) and isinstance(term.arg.pred, (T.PZero, T.POne, T.PPrim))
+        ):
+            return f"{inner}*"
+        return f"({pretty_term(term.arg, _PREC_PLUS)})*"
+    raise TypeError(f"not a Term: {term!r}")
+
+
+def pretty_normal_form(nf):
+    """Render a normal form as a sum of ``test ; action`` summands."""
+    pairs = nf.sorted_pairs()
+    if not pairs:
+        return "false"
+    parts = []
+    for test, action in pairs:
+        parts.append(f"{pretty_pred(test, _PREC_SEQ)}; {pretty_term(action, _PREC_SEQ)}")
+    return " + ".join(parts)

@@ -1,0 +1,245 @@
+"""The tracing semantics of KMT terms (paper Fig. 5, Section 3.1).
+
+A *trace* is a non-empty sequence of log entries ``<state, action>``; the
+first entry carries no action (written ``<sigma, bot>`` in the paper).  The
+denotation of a term is a function from a trace to a set of traces: tests
+filter the input trace, primitive actions extend it with a new state computed
+by the client theory's ``act``, and the regular operators are interpreted with
+Kleisli composition and (bounded, for execution) iteration.
+
+The genuine denotation of ``p*`` is an infinite union; for an executable
+semantics we unroll the star a configurable number of times
+(``star_bound``).  That is sufficient for differential testing against the
+decision procedure because two inequivalent terms are distinguished by some
+finite trace, and the tests pick bounds larger than the witnesses they need.
+"""
+
+from __future__ import annotations
+
+from repro.core import terms as T
+from repro.utils.errors import KmtError
+
+
+class LogEntry:
+    """One entry ``<state, action>`` of a trace (``action`` is None initially)."""
+
+    __slots__ = ("state", "action")
+
+    def __init__(self, state, action=None):
+        self.state = state
+        self.action = action
+
+    def __eq__(self, other):
+        if not isinstance(other, LogEntry):
+            return NotImplemented
+        return self.state == other.state and self.action == other.action
+
+    def __hash__(self):
+        return hash((self.state, self.action))
+
+    def __repr__(self):
+        if self.action is None:
+            return f"<{self.state!r}, _>"
+        return f"<{self.state!r}, {self.action!r}>"
+
+
+class Trace:
+    """A non-empty sequence of log entries."""
+
+    __slots__ = ("entries", "_hash")
+
+    def __init__(self, entries):
+        entries = tuple(entries)
+        if not entries:
+            raise KmtError("a trace must be non-empty")
+        self.entries = entries
+        self._hash = None
+
+    @classmethod
+    def initial(cls, state):
+        """The one-entry trace ``<state, bot>``."""
+        return cls((LogEntry(state, None),))
+
+    # -- structure -----------------------------------------------------------
+    def __len__(self):
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __getitem__(self, idx):
+        return self.entries[idx]
+
+    def __eq__(self, other):
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self.entries == other.entries
+
+    def __hash__(self):
+        if self._hash is None:
+            self._hash = hash(self.entries)
+        return self._hash
+
+    def __repr__(self):
+        return "Trace(" + " ".join(repr(e) for e in self.entries) + ")"
+
+    # -- accessors -------------------------------------------------------------
+    @property
+    def last_state(self):
+        """The state of the final log entry (``last(t)`` in the paper)."""
+        return self.entries[-1].state
+
+    @property
+    def first_state(self):
+        return self.entries[0].state
+
+    def append(self, state, action):
+        """Extend the trace with a new ``<state, action>`` entry."""
+        return Trace(self.entries + (LogEntry(state, action),))
+
+    def prefix(self):
+        """Drop the final entry (used by temporal predicates); None if length 1."""
+        if len(self.entries) == 1:
+            return None
+        return Trace(self.entries[:-1])
+
+    def label(self):
+        """The word of primitive actions along the trace (Fig. 10 ``label``)."""
+        return tuple(e.action for e in self.entries if e.action is not None)
+
+    def map_states(self, fn):
+        """Apply ``fn`` to every state, keeping the actions (theory projection)."""
+        return Trace(tuple(LogEntry(fn(e.state), e.action) for e in self.entries))
+
+    def states(self):
+        return tuple(e.state for e in self.entries)
+
+
+# ---------------------------------------------------------------------------
+# evaluation
+# ---------------------------------------------------------------------------
+
+DEFAULT_STAR_BOUND = 12
+
+
+def eval_pred(pred, trace, theory):
+    """Evaluate a predicate on a trace: does the trace satisfy it?"""
+    if isinstance(pred, T.PZero):
+        return False
+    if isinstance(pred, T.POne):
+        return True
+    if isinstance(pred, T.PPrim):
+        return bool(theory.pred(pred.alpha, trace))
+    if isinstance(pred, T.PNot):
+        return not eval_pred(pred.arg, trace, theory)
+    if isinstance(pred, T.PAnd):
+        return eval_pred(pred.left, trace, theory) and eval_pred(pred.right, trace, theory)
+    if isinstance(pred, T.POr):
+        return eval_pred(pred.left, trace, theory) or eval_pred(pred.right, trace, theory)
+    raise TypeError(f"not a Pred: {pred!r}")
+
+
+def eval_term(term, trace, theory, star_bound=DEFAULT_STAR_BOUND):
+    """The denotation ``[[term]](trace)`` as a set of traces.
+
+    Kleene star is unrolled at most ``star_bound`` times, so the result is an
+    under-approximation of the true (possibly infinite) denotation; it is
+    exact for star-free terms and for traces shorter than the bound.
+    """
+    if isinstance(term, T.TTest):
+        if eval_pred(term.pred, trace, theory):
+            return {trace}
+        return set()
+    if isinstance(term, T.TPrim):
+        new_state = theory.act(term.pi, trace.last_state)
+        return {trace.append(new_state, term.pi)}
+    if isinstance(term, T.TPlus):
+        left = eval_term(term.left, trace, theory, star_bound)
+        right = eval_term(term.right, trace, theory, star_bound)
+        return left | right
+    if isinstance(term, T.TSeq):
+        out = set()
+        for mid in eval_term(term.left, trace, theory, star_bound):
+            out |= eval_term(term.right, mid, theory, star_bound)
+        return out
+    if isinstance(term, T.TStar):
+        result = {trace}
+        frontier = {trace}
+        for _ in range(star_bound):
+            new_frontier = set()
+            for t in frontier:
+                for t2 in eval_term(term.arg, t, theory, star_bound):
+                    if t2 not in result:
+                        new_frontier.add(t2)
+            if not new_frontier:
+                break
+            result |= new_frontier
+            frontier = new_frontier
+        return result
+    raise TypeError(f"not a Term: {term!r}")
+
+
+def run(term, state, theory, star_bound=DEFAULT_STAR_BOUND):
+    """Run a term from an initial state; returns the set of output traces."""
+    return eval_term(term, Trace.initial(state), theory, star_bound)
+
+
+def output_states(term, state, theory, star_bound=DEFAULT_STAR_BOUND):
+    """The set of final states reachable by running ``term`` from ``state``."""
+    return {t.last_state for t in run(term, state, theory, star_bound)}
+
+
+def trace_labels(term, state, theory, star_bound=DEFAULT_STAR_BOUND):
+    """The set of action words produced by running ``term`` from ``state``."""
+    return {t.label() for t in run(term, state, theory, star_bound)}
+
+
+def accepts(term, state, theory, star_bound=DEFAULT_STAR_BOUND):
+    """True iff running ``term`` from ``state`` produces at least one trace."""
+    return bool(run(term, state, theory, star_bound))
+
+
+def traces_up_to_length(term, state, theory, max_actions, star_bound=None):
+    """Traces of ``term`` from ``state`` with at most ``max_actions`` actions.
+
+    With ``star_bound >= max_actions`` (the default) this set is *exact*: any
+    trace with at most ``max_actions`` actions is produced within that many
+    star unrollings, because unproductive unrollings (test-only iterations)
+    never change the trace.  This makes it suitable for comparing terms whose
+    stars have been restructured by normalization.
+    """
+    if star_bound is None:
+        star_bound = max_actions
+    full = eval_term(term, Trace.initial(state), theory, star_bound)
+    return {t for t in full if len(t.label()) <= max_actions}
+
+
+def equivalent_up_to_length(term1, term2, states, theory, max_actions, star_bound=None):
+    """Compare length-truncated denotations of two terms on the given states.
+
+    Unlike :func:`semantically_equivalent_on`, the truncation is by *trace
+    length* rather than by star-unrolling depth, so terms that denote the same
+    language but unroll their loops differently (e.g. a term and its normal
+    form) compare equal.  Differences within the length bound are definite
+    evidence of inequivalence.
+    """
+    for state in states:
+        left = traces_up_to_length(term1, state, theory, max_actions, star_bound)
+        right = traces_up_to_length(term2, state, theory, max_actions, star_bound)
+        if left != right:
+            return False
+    return True
+
+
+def semantically_equivalent_on(term1, term2, states, theory, star_bound=DEFAULT_STAR_BOUND):
+    """Compare two terms' (bounded) denotations on a collection of start states.
+
+    Used for differential testing of the decision procedure: if the bounded
+    denotations differ on any supplied state the terms are certainly
+    inequivalent; agreement is evidence (not proof) of equivalence.
+    """
+    for state in states:
+        t = Trace.initial(state)
+        if eval_term(term1, t, theory, star_bound) != eval_term(term2, t, theory, star_bound):
+            return False
+    return True

@@ -1,0 +1,194 @@
+"""The client-theory interface (the ``THEORY`` module signature of Section 4).
+
+A *client theory* supplies the domain-specific half of a KMT:
+
+* the primitive tests (``alpha``) and primitive actions (``pi``);
+* a notion of state plus ``pred``/``act`` semantics over that state;
+* a weakest-precondition relation ``push_back`` relating every primitive
+  action/test pair (Definition 3.3);
+* a ``subterms`` function giving the tests that pushing a primitive test back
+  may produce (this induces the maximal-subterm ordering, Fig. 6);
+* a satisfiability decision procedure for the Boolean algebra over the
+  primitive tests (used in the completeness-derived decision procedure,
+  Theorem 3.7);
+* optional parser extensions and simplification hooks.
+
+Primitive tests and actions are ordinary immutable, hashable Python objects
+(frozen dataclasses in the shipped theories).  They are wrapped in
+:class:`~repro.core.terms.PPrim` / :class:`~repro.core.terms.TPrim` nodes by
+the core.
+
+Higher-order theories (products, sets, maps, LTLf) need to call back into the
+*derived* KMT — for example LTLf pushes arbitrary embedded predicates back
+through actions using the derived pushback relation, exactly as the OCaml
+implementation uses recursive modules.  The :meth:`Theory.attach` hook hands
+the theory its enclosing :class:`~repro.core.kmt.KMT` instance to tie that
+recursive knot.
+"""
+
+from __future__ import annotations
+
+from repro.utils.errors import TheoryError
+
+
+class Theory:
+    """Abstract base class for KMT client theories.
+
+    Subclasses must implement the abstract methods below.  The docstrings
+    state the proof obligations from the paper that the implementation is
+    trusted to discharge (the framework cannot check them, see Section 3).
+    """
+
+    #: Human-readable theory name (used by the CLI and error messages).
+    name = "abstract"
+
+    def __init__(self):
+        self.kmt = None
+
+    # ------------------------------------------------------------------
+    # recursive knot
+    # ------------------------------------------------------------------
+    def attach(self, kmt):
+        """Record the derived :class:`KMT` instance wrapping this theory.
+
+        Called exactly once by ``KMT.__init__``.  Higher-order theories use
+        ``self.kmt`` to evaluate or push back embedded predicates.
+        """
+        self.kmt = kmt
+
+    def require_kmt(self):
+        if self.kmt is None:
+            raise TheoryError(
+                f"theory {self.name!r} is not attached to a KMT instance; "
+                "construct it via repro.KMT(theory)"
+            )
+        return self.kmt
+
+    # ------------------------------------------------------------------
+    # ownership (used by composite theories to dispatch primitives)
+    # ------------------------------------------------------------------
+    def owns_test(self, alpha):
+        """True iff primitive test ``alpha`` belongs to this theory."""
+        raise NotImplementedError
+
+    def owns_action(self, pi):
+        """True iff primitive action ``pi`` belongs to this theory."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # semantics (Fig. 5: pred and act)
+    # ------------------------------------------------------------------
+    def initial_state(self):
+        """A canonical initial state (used by examples and random testing)."""
+        raise NotImplementedError
+
+    def pred(self, alpha, trace):
+        """Evaluate primitive test ``alpha`` on a trace; return a bool.
+
+        ``trace`` is a :class:`repro.core.semantics.Trace`; most theories only
+        look at ``trace.last_state`` but temporal theories may inspect the
+        whole history.
+        """
+        raise NotImplementedError
+
+    def act(self, pi, state):
+        """Apply primitive action ``pi`` to ``state`` and return the new state."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # pushback obligations (Definition 3.3 and Fig. 6)
+    # ------------------------------------------------------------------
+    def push_back(self, pi, alpha):
+        """The weakest-precondition relation ``pi . alpha  WP  sum a_i . pi``.
+
+        Returns an iterable of :class:`~repro.core.terms.Pred` whose sum ``A``
+        satisfies ``pi ; alpha == A ; pi`` in the theory's equational theory.
+
+        Proof obligations (trusted): the equivalence must be sound for the
+        tracing semantics, and every returned predicate must be no larger than
+        ``alpha`` in the maximal-subterm ordering (i.e. built from
+        ``subterms(alpha)`` and Boolean structure over them).
+        """
+        raise NotImplementedError
+
+    def subterms(self, alpha):
+        """The theory-specific subterms of primitive test ``alpha``.
+
+        Returns an iterable of :class:`~repro.core.terms.Pred`.  The core adds
+        ``0``, ``1`` and ``alpha`` itself (Fig. 6); this method only needs to
+        return the *extra* predicates that ``push_back`` may produce — e.g.
+        ``x > m`` for every ``m <= n`` in the IncNat theory.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # satisfiability
+    # ------------------------------------------------------------------
+    def satisfiable(self, pred):
+        """Decide satisfiability of a Boolean combination of primitive tests.
+
+        The default implementation runs the generic DPLL(T) solver of
+        :mod:`repro.smt.dpll` using :meth:`satisfiable_conjunction` as the
+        theory oracle.  Theories with a cheaper dedicated procedure may
+        override this method (the paper notes custom solvers beat the Z3
+        embedding).
+        """
+        from repro.smt.dpll import dpll_satisfiable
+
+        return dpll_satisfiable(pred, self)
+
+    def satisfiable_conjunction(self, literals):
+        """Decide satisfiability of a conjunction of primitive-test literals.
+
+        ``literals`` is a sequence of ``(alpha, polarity)`` pairs where
+        ``polarity`` is ``True`` for a positive occurrence and ``False`` for a
+        negated one.  Used as the theory oracle by the generic DPLL(T) solver.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # optional hooks
+    # ------------------------------------------------------------------
+    def simplify_not(self, alpha):
+        """Optionally rewrite ``~alpha`` to an equivalent predicate (or None)."""
+        return None
+
+    def simplify_and(self, alpha, beta):
+        """Optionally rewrite ``alpha ; beta`` to an equivalent predicate (or None)."""
+        return None
+
+    def simplify_or(self, alpha, beta):
+        """Optionally rewrite ``alpha + beta`` to an equivalent predicate (or None)."""
+        return None
+
+    def parse_phrase(self, tokens):
+        """Parse a primitive phrase (a list of non-structural tokens).
+
+        Returns ``("test", alpha)`` or ``("action", pi)``, or raises
+        :class:`~repro.utils.errors.ParseError`.  See
+        :mod:`repro.core.parser` for the token format.
+        """
+        from repro.utils.errors import ParseError
+
+        raise ParseError(f"theory {self.name!r} does not support parsing: {tokens!r}")
+
+    def parser_keywords(self):
+        """Keywords that introduce function-style predicate syntax.
+
+        Returns a mapping ``keyword -> callable(parser) -> Pred`` used by the
+        core parser for forms such as ``last(a)`` or ``since(a, b)`` whose
+        arguments are themselves full predicates.
+        """
+        return {}
+
+    def test_variables(self, alpha):
+        """Variables mentioned by a primitive test (used by diagnostics)."""
+        return ()
+
+    def action_variables(self, pi):
+        """Variables mentioned by a primitive action (used by diagnostics)."""
+        return ()
+
+    def describe(self):
+        """A short human-readable description of the theory."""
+        return self.name

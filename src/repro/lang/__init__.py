@@ -1,0 +1,29 @@
+"""A small While-language frontend compiled into KMT terms (paper Section 1.1)."""
+
+from repro.lang.while_lang import (
+    Abort,
+    ActionStmt,
+    Assert,
+    Assume,
+    If,
+    Seq,
+    Skip,
+    While,
+    WhileProgram,
+    compile_program,
+    parse_program,
+)
+
+__all__ = [
+    "Abort",
+    "ActionStmt",
+    "Assert",
+    "Assume",
+    "If",
+    "Seq",
+    "Skip",
+    "While",
+    "WhileProgram",
+    "compile_program",
+    "parse_program",
+]

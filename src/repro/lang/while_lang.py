@@ -1,0 +1,360 @@
+"""A While-language frontend over KMT theories (paper Section 1.1 and Fig. 1).
+
+The paper motivates KMT with small imperative programs — ``Pnat``, ``Pset``
+and ``Pmap`` in Fig. 1 — and shows the standard translation of While programs
+into KAT terms::
+
+    skip                      ->  1
+    abort                     ->  0
+    assume b / assert b       ->  b
+    primitive action pi       ->  pi
+    s1 ; s2                   ->  s1 ; s2
+    if b { s1 } else { s2 }   ->  b;s1 + ~b;s2
+    while b { s }             ->  (b;s)* ; ~b
+
+This module provides a statement AST, the compiler into KMT terms, and a
+concrete syntax parser so the Fig. 1 programs can be written literally, e.g.::
+
+    assume i < 50;
+    while (i < 100) {
+        inc(i);
+        inc(j); inc(j);
+    }
+    assert j > 100;
+
+Tests and actions inside a program are parsed by the active client theory, so
+the same frontend works for all the shipped theories (and products thereof).
+"""
+
+from __future__ import annotations
+
+from repro.core import parser as core_parser
+from repro.core import terms as T
+from repro.utils.errors import ParseError
+
+
+# ---------------------------------------------------------------------------
+# statement AST
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class for While-language statements."""
+
+    def compile(self):
+        """Compile this statement into a KMT term."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return self.pretty()
+
+    def pretty(self, indent=0):
+        raise NotImplementedError
+
+
+class Skip(Statement):
+    """The no-op statement."""
+
+    def compile(self):
+        return T.tone()
+
+    def pretty(self, indent=0):
+        return " " * indent + "skip;"
+
+
+class Abort(Statement):
+    """The failing statement (no behaviours)."""
+
+    def compile(self):
+        return T.tzero()
+
+    def pretty(self, indent=0):
+        return " " * indent + "abort;"
+
+
+class Assume(Statement):
+    """``assume b`` — continue only on states satisfying ``b``."""
+
+    def __init__(self, pred):
+        self.pred = pred
+
+    def compile(self):
+        return T.ttest(self.pred)
+
+    def pretty(self, indent=0):
+        return " " * indent + f"assume {self.pred.pretty()};"
+
+
+class Assert(Statement):
+    """``assert b`` — identical to ``assume`` as a KAT term.
+
+    The distinction matters to the *user* (an assert states an intended
+    property); verification questions phrase themselves as equivalences, e.g.
+    "does dropping the assert change the program?".
+    """
+
+    def __init__(self, pred):
+        self.pred = pred
+
+    def compile(self):
+        return T.ttest(self.pred)
+
+    def pretty(self, indent=0):
+        return " " * indent + f"assert {self.pred.pretty()};"
+
+
+class ActionStmt(Statement):
+    """A primitive theory action (or any already-built KMT term)."""
+
+    def __init__(self, term):
+        self.term = term
+
+    def compile(self):
+        return self.term
+
+    def pretty(self, indent=0):
+        return " " * indent + f"{self.term.pretty()};"
+
+
+class Seq(Statement):
+    """A block of statements executed in order."""
+
+    def __init__(self, statements):
+        self.statements = list(statements)
+
+    def compile(self):
+        return T.tseq_all(stmt.compile() for stmt in self.statements)
+
+    def pretty(self, indent=0):
+        return "\n".join(stmt.pretty(indent) for stmt in self.statements)
+
+
+class If(Statement):
+    """``if (b) { s1 } else { s2 }``."""
+
+    def __init__(self, cond, then_branch, else_branch=None):
+        self.cond = cond
+        self.then_branch = then_branch
+        self.else_branch = else_branch if else_branch is not None else Skip()
+
+    def compile(self):
+        return T.tplus(
+            T.tseq(T.ttest(self.cond), self.then_branch.compile()),
+            T.tseq(T.ttest(T.pnot(self.cond)), self.else_branch.compile()),
+        )
+
+    def pretty(self, indent=0):
+        pad = " " * indent
+        return (
+            f"{pad}if ({self.cond.pretty()}) {{\n"
+            f"{self.then_branch.pretty(indent + 2)}\n{pad}}} else {{\n"
+            f"{self.else_branch.pretty(indent + 2)}\n{pad}}}"
+        )
+
+
+class While(Statement):
+    """``while (b) { s }``."""
+
+    def __init__(self, cond, body):
+        self.cond = cond
+        self.body = body
+
+    def compile(self):
+        return T.tseq(
+            T.tstar(T.tseq(T.ttest(self.cond), self.body.compile())),
+            T.ttest(T.pnot(self.cond)),
+        )
+
+    def pretty(self, indent=0):
+        pad = " " * indent
+        return f"{pad}while ({self.cond.pretty()}) {{\n{self.body.pretty(indent + 2)}\n{pad}}}"
+
+
+class WhileProgram:
+    """A parsed/constructed While program together with its theory."""
+
+    def __init__(self, body, theory):
+        self.body = body if isinstance(body, Statement) else Seq(body)
+        self.theory = theory
+
+    def compile(self):
+        """The KMT term denoting this program."""
+        return self.body.compile()
+
+    def pretty(self):
+        return self.body.pretty()
+
+    def __repr__(self):
+        return f"WhileProgram(\n{self.pretty()}\n)"
+
+
+def compile_program(program):
+    """Compile a :class:`WhileProgram` or a :class:`Statement` into a term."""
+    if isinstance(program, WhileProgram):
+        return program.compile()
+    if isinstance(program, Statement):
+        return program.compile()
+    raise TypeError(f"expected a WhileProgram or Statement, got {program!r}")
+
+
+# ---------------------------------------------------------------------------
+# concrete syntax
+# ---------------------------------------------------------------------------
+
+
+class _ProgramParser:
+    """Statement-level recursive descent; tests/actions defer to the theory."""
+
+    def __init__(self, theory, text):
+        self.theory = theory
+        self.text = text
+        self.tokens = core_parser.tokenize(text)
+        self.index = 0
+
+    # -- token plumbing -----------------------------------------------------
+    def peek(self):
+        return self.tokens[self.index]
+
+    def advance(self):
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def at_end(self):
+        return self.peek().kind == "end"
+
+    def at_sym(self, sym):
+        token = self.peek()
+        return token.kind == "sym" and token.value == sym
+
+    def at_word(self, word):
+        token = self.peek()
+        return token.kind == "word" and token.value == word
+
+    def expect_sym(self, sym):
+        if not self.at_sym(sym):
+            token = self.peek()
+            raise ParseError(f"expected {sym!r}, found {token.value!r}", token.pos, self.text)
+        return self.advance()
+
+    # -- helpers: re-parse token runs with the KMT term/test parser ------------
+    def _collect_until(self, stop_symbols):
+        """Collect tokens (balancing brackets) until a stop symbol at depth 0."""
+        depth = 0
+        collected = []
+        while True:
+            token = self.peek()
+            if token.kind == "end":
+                break
+            if token.kind == "sym":
+                if token.value in ("(", "["):
+                    depth += 1
+                elif token.value in (")", "]"):
+                    if depth == 0:
+                        break
+                    depth -= 1
+                elif depth == 0 and token.value in stop_symbols:
+                    break
+            collected.append(self.advance())
+        return collected
+
+    def _collect_balanced_parens(self):
+        """Consume a parenthesized region and return the inner tokens."""
+        self.expect_sym("(")
+        depth = 0
+        collected = []
+        while True:
+            token = self.peek()
+            if token.kind == "end":
+                raise ParseError("unterminated '('", token.pos, self.text)
+            if token.kind == "sym":
+                if token.value == "(":
+                    depth += 1
+                elif token.value == ")":
+                    if depth == 0:
+                        self.advance()
+                        break
+                    depth -= 1
+            collected.append(self.advance())
+        return collected
+
+    @staticmethod
+    def _tokens_to_text(tokens):
+        return " ".join(token.value for token in tokens)
+
+    def _parse_pred_tokens(self, tokens):
+        text = self._tokens_to_text(tokens)
+        if not text.strip():
+            raise ParseError("expected a test", self.peek().pos, self.text)
+        return core_parser.parse_pred(text, self.theory)
+
+    def _parse_term_tokens(self, tokens):
+        text = self._tokens_to_text(tokens)
+        if not text.strip():
+            raise ParseError("expected an action", self.peek().pos, self.text)
+        return core_parser.parse_term(text, self.theory)
+
+    # -- grammar -------------------------------------------------------------
+    def parse_program(self, stop_at_brace=False):
+        statements = []
+        while not self.at_end():
+            if stop_at_brace and self.at_sym("}"):
+                break
+            statements.append(self.parse_statement())
+            while self.at_sym(";"):
+                self.advance()
+        return Seq(statements)
+
+    def parse_statement(self):
+        if self.at_word("skip"):
+            self.advance()
+            return Skip()
+        if self.at_word("abort"):
+            self.advance()
+            return Abort()
+        if self.at_word("assume"):
+            self.advance()
+            tokens = self._collect_until({";"})
+            return Assume(self._parse_pred_tokens(tokens))
+        if self.at_word("assert"):
+            self.advance()
+            tokens = self._collect_until({";"})
+            return Assert(self._parse_pred_tokens(tokens))
+        if self.at_word("if"):
+            return self._parse_if()
+        if self.at_word("while"):
+            return self._parse_while()
+        tokens = self._collect_until({";"})
+        return ActionStmt(self._parse_term_tokens(tokens))
+
+    def _parse_block(self):
+        self.expect_sym("{")
+        block = self.parse_program(stop_at_brace=True)
+        self.expect_sym("}")
+        return block
+
+    def _parse_if(self):
+        self.advance()  # 'if'
+        cond = self._parse_pred_tokens(self._collect_balanced_parens())
+        then_branch = self._parse_block()
+        else_branch = None
+        if self.at_word("else"):
+            self.advance()
+            else_branch = self._parse_block()
+        return If(cond, then_branch, else_branch)
+
+    def _parse_while(self):
+        self.advance()  # 'while'
+        cond = self._parse_pred_tokens(self._collect_balanced_parens())
+        body = self._parse_block()
+        return While(cond, body)
+
+
+def parse_program(text, theory):
+    """Parse a While program over the given theory; returns a :class:`WhileProgram`."""
+    parser = _ProgramParser(theory, text)
+    body = parser.parse_program()
+    if not parser.at_end():
+        token = parser.peek()
+        raise ParseError(f"trailing input starting at {token.value!r}", token.pos, text)
+    return WhileProgram(body, theory)

@@ -1,0 +1,116 @@
+"""A small DPLL(T)-style satisfiability engine for theory predicates.
+
+The query answered here is the one the KMT decision procedure needs (paper
+Theorem 3.7): given a Boolean combination of *primitive theory tests*, is
+there a state (more precisely, a trace) that satisfies it?
+
+The engine branches over the primitive tests occurring in the predicate, in
+the usual DPLL fashion, with two prunings:
+
+* Boolean: after each decision the predicate is simplified under the partial
+  assignment; branches whose predicate collapses to ``0`` are abandoned, and
+  a predicate that collapses to ``1`` only needs the decided literals to be
+  theory-consistent.
+* Theory: after each decision the partial literal set is checked for
+  consistency with the client theory's ``satisfiable_conjunction`` oracle
+  (e.g. ``x > 5`` together with ``~(x > 3)`` is pruned immediately for the
+  IncNat theory).
+
+This mirrors the role Z3 plays in the OCaml implementation; the paper notes
+custom solvers are usually faster, and every shipped theory supplies a custom
+``satisfiable_conjunction``.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.core import terms as T
+from repro.smt.literals import atoms_of, evaluate, substitute
+
+
+def dpll_satisfiable(pred, theory):
+    """Decide satisfiability of ``pred`` over the given theory's tests."""
+    if isinstance(pred, T.POne):
+        return True
+    if isinstance(pred, T.PZero):
+        return False
+    atoms = atoms_of(pred)
+    return _search(pred, atoms, 0, [], theory)
+
+
+def _search(pred, atoms, index, literals, theory):
+    if isinstance(pred, T.PZero):
+        return False
+    if literals and not theory.satisfiable_conjunction(literals):
+        return False
+    if isinstance(pred, T.POne):
+        # The remaining atoms are unconstrained; the decided literals are
+        # already theory-consistent (checked above), so we are satisfiable.
+        return True
+    if index >= len(atoms):
+        # All atoms decided; pred should have collapsed to a constant, but a
+        # theory atom can appear under an uninterpreted wrapper — fall back to
+        # evaluation under the assignment.
+        assignment = {alpha: polarity for alpha, polarity in literals}
+        return evaluate(pred, assignment)
+    alpha = atoms[index]
+    for polarity in (True, False):
+        simplified = substitute(pred, alpha, polarity)
+        if _search(simplified, atoms, index + 1, literals + [(alpha, polarity)], theory):
+            return True
+    return False
+
+
+def dpll_model(pred, theory):
+    """Return a satisfying literal assignment ``[(alpha, bool), ...]`` or None."""
+    if isinstance(pred, T.PZero):
+        return None
+    atoms = atoms_of(pred)
+    return _search_model(pred, atoms, 0, [], theory)
+
+
+def _search_model(pred, atoms, index, literals, theory):
+    if isinstance(pred, T.PZero):
+        return None
+    if literals and not theory.satisfiable_conjunction(literals):
+        return None
+    if isinstance(pred, T.POne):
+        return list(literals)
+    if index >= len(atoms):
+        assignment = {alpha: polarity for alpha, polarity in literals}
+        return list(literals) if evaluate(pred, assignment) else None
+    alpha = atoms[index]
+    for polarity in (True, False):
+        simplified = substitute(pred, alpha, polarity)
+        found = _search_model(simplified, atoms, index + 1, literals + [(alpha, polarity)], theory)
+        if found is not None:
+            return found
+    return None
+
+
+def enumerate_models(pred, theory):
+    """Yield every theory-consistent total assignment satisfying ``pred``.
+
+    Exponential in the number of atoms — intended for tests and small
+    diagnostics, not for the decision procedure.
+    """
+    atoms = atoms_of(pred)
+    for values in product((True, False), repeat=len(atoms)):
+        literals = list(zip(atoms, values))
+        if not evaluate(pred, dict(literals)):
+            continue
+        if literals and not theory.satisfiable_conjunction(literals):
+            continue
+        yield literals
+
+
+def naive_satisfiable(pred, theory):
+    """Unpruned enumeration-based satisfiability (the ablation baseline)."""
+    if isinstance(pred, T.POne):
+        return True
+    if isinstance(pred, T.PZero):
+        return False
+    for _ in enumerate_models(pred, theory):
+        return True
+    return False

@@ -1,0 +1,77 @@
+"""Bounds reasoning for conjunctions of ``x > n`` literals (IncNat's solver).
+
+The IncNat theory's primitive tests are lower-bound comparisons of program
+variables against natural-number constants.  A conjunction of literals
+
+    x > n1, x > n2, ..., ~(x > m1), ~(x > m2), ...
+
+is satisfiable over the naturals iff, for every variable independently, the
+strongest lower bound is below the weakest upper bound: writing
+``lo = 1 + max(ni)`` (or ``0`` with no positive literal) and
+``hi = min(mj)`` (or ``+inf`` with no negative literal), we need ``lo <= hi``.
+
+This is the decidable fragment of Presburger arithmetic the paper appeals to
+for IncNat's completeness, specialised to the only atoms the theory can
+produce.  It is the "custom solver" of Section 4.1; the generic DPLL engine
+uses it as its theory oracle.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Bounds:
+    """Per-variable lower/upper bounds accumulated from literals."""
+
+    __slots__ = ("lower", "upper")
+
+    def __init__(self):
+        self.lower = 0  # variables range over the naturals
+        self.upper = math.inf
+
+    def add_greater_than(self, n):
+        """Record the literal ``x > n``."""
+        self.lower = max(self.lower, n + 1)
+
+    def add_not_greater_than(self, n):
+        """Record the literal ``~(x > n)``, i.e. ``x <= n``."""
+        self.upper = min(self.upper, n)
+
+    def consistent(self):
+        return self.lower <= self.upper
+
+    def witness(self):
+        """A satisfying value (meaningful only if :meth:`consistent`)."""
+        return self.lower
+
+
+def satisfiable_bounds(literals):
+    """Decide a conjunction of ``(variable, threshold, polarity)`` literals.
+
+    ``polarity`` True means ``variable > threshold``; False means the
+    negation.  Returns True iff some assignment of naturals to the variables
+    satisfies every literal.
+    """
+    per_var = {}
+    for variable, threshold, polarity in literals:
+        bounds = per_var.setdefault(variable, Bounds())
+        if polarity:
+            bounds.add_greater_than(threshold)
+        else:
+            bounds.add_not_greater_than(threshold)
+    return all(bounds.consistent() for bounds in per_var.values())
+
+
+def model_bounds(literals):
+    """Return a satisfying assignment ``{variable: value}`` or None."""
+    per_var = {}
+    for variable, threshold, polarity in literals:
+        bounds = per_var.setdefault(variable, Bounds())
+        if polarity:
+            bounds.add_greater_than(threshold)
+        else:
+            bounds.add_not_greater_than(threshold)
+    if not all(bounds.consistent() for bounds in per_var.values()):
+        return None
+    return {variable: bounds.witness() for variable, bounds in per_var.items()}

@@ -1,0 +1,36 @@
+"""Client theories (the paper's Section 2 case studies).
+
+Each module defines a :class:`~repro.core.theory.Theory` subclass plus the
+frozen dataclasses for its primitive tests and actions:
+
+* :mod:`repro.theories.bitvec` — Boolean variables (Fig. 3a, KAT+B! style).
+* :mod:`repro.theories.incnat` — monotonically increasing naturals (Fig. 2).
+* :mod:`repro.theories.product` — disjoint products of theories (Fig. 3b).
+* :mod:`repro.theories.sets` — unbounded sets over an expression theory
+  (Fig. 3c).
+* :mod:`repro.theories.maps` — unbounded maps over key/value expressions.
+* :mod:`repro.theories.netkat` — tracing NetKAT over packet fields (Fig. 4).
+* :mod:`repro.theories.ltlf` — past-time LTL on finite traces, a higher-order
+  theory over any other theory (Fig. 3d).
+* :mod:`repro.theories.temporal_netkat` — LTLf(NetKAT) (Section 2.6).
+"""
+
+from repro.theories.bitvec import BitVecTheory
+from repro.theories.incnat import IncNatTheory
+from repro.theories.ltlf import LtlfTheory
+from repro.theories.maps import MapTheory
+from repro.theories.netkat import NetKatTheory
+from repro.theories.product import ProductTheory
+from repro.theories.sets import SetTheory
+from repro.theories.temporal_netkat import temporal_netkat
+
+__all__ = [
+    "BitVecTheory",
+    "IncNatTheory",
+    "LtlfTheory",
+    "MapTheory",
+    "NetKatTheory",
+    "ProductTheory",
+    "SetTheory",
+    "temporal_netkat",
+]

@@ -1,0 +1,160 @@
+"""The theory of bit vectors / Boolean variables (paper Fig. 3a, Section 2.1).
+
+Primitive tests:   ``b = T``            (``b = F`` is sugar for ``~(b = T)``)
+Primitive actions: ``b := T``, ``b := F``
+Derived sugar:     ``flip b``  ==  ``b = T; b := F + b = F; b := T``
+
+States map variable names to booleans (unset variables read as false).  Note
+the tracing-semantics subtlety discussed in Section 2.1: unlike KAT+B!,
+``b := T; b := T`` is *not* equivalent to ``b := T`` here because the two runs
+produce different traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import terms as T
+from repro.core.parser import match_phrase, phrase_text
+from repro.core.theory import Theory
+from repro.utils.errors import ParseError, TheoryError
+from repro.utils.frozendict import FrozenDict
+
+
+@dataclass(frozen=True)
+class BoolEq:
+    """The primitive test ``var = T``."""
+
+    var: str
+
+    def __str__(self):
+        return f"{self.var} = T"
+
+
+@dataclass(frozen=True)
+class BoolAssign:
+    """The primitive action ``var := value``."""
+
+    var: str
+    value: bool
+
+    def __str__(self):
+        return f"{self.var} := {'T' if self.value else 'F'}"
+
+
+class BitVecTheory(Theory):
+    """Boolean variables with assignment and equality tests."""
+
+    name = "bitvec"
+
+    def __init__(self, variables=None):
+        super().__init__()
+        #: Optional declared universe of variables (used by initial_state and
+        #: random-state generation in tests); undeclared variables still work.
+        self.variables = tuple(variables) if variables else ()
+
+    # -- ownership ---------------------------------------------------------
+    def owns_test(self, alpha):
+        return isinstance(alpha, BoolEq)
+
+    def owns_action(self, pi):
+        return isinstance(pi, BoolAssign)
+
+    # -- semantics -----------------------------------------------------------
+    def initial_state(self):
+        return FrozenDict({v: False for v in self.variables})
+
+    def pred(self, alpha, trace):
+        if not isinstance(alpha, BoolEq):
+            raise TheoryError(f"bitvec cannot evaluate test {alpha!r}")
+        return bool(trace.last_state.get(alpha.var, False))
+
+    def act(self, pi, state):
+        if not isinstance(pi, BoolAssign):
+            raise TheoryError(f"bitvec cannot execute action {pi!r}")
+        return state.set(pi.var, pi.value)
+
+    # -- pushback -------------------------------------------------------------
+    def push_back(self, pi, alpha):
+        if not isinstance(pi, BoolAssign) or not isinstance(alpha, BoolEq):
+            raise TheoryError(f"bitvec push_back on foreign primitives: {pi!r}, {alpha!r}")
+        if pi.var != alpha.var:
+            # The assignment does not touch the tested variable: commute.
+            return [T.pprim(alpha)]
+        if pi.value:
+            # b := T ; b = T  ==  1 ; b := T          (True-True)
+            return [T.pone()]
+        # b := F ; b = T  ==  0                        (False-True)
+        return [T.pzero()]
+
+    def subterms(self, alpha):
+        if not isinstance(alpha, BoolEq):
+            raise TheoryError(f"bitvec subterms on foreign test {alpha!r}")
+        return []
+
+    # -- satisfiability ---------------------------------------------------------
+    def satisfiable_conjunction(self, literals):
+        # Each literal constrains a distinct atom (b = T); a positive and a
+        # negative literal on the same atom never co-occur in a DPLL branch,
+        # and distinct variables are independent, so any branch is consistent.
+        seen = {}
+        for alpha, polarity in literals:
+            if not isinstance(alpha, BoolEq):
+                raise TheoryError(f"bitvec literal on foreign test {alpha!r}")
+            previous = seen.get(alpha.var)
+            if previous is not None and previous != polarity:
+                return False
+            seen[alpha.var] = polarity
+        return True
+
+    # -- parsing ------------------------------------------------------------------
+    def parse_phrase(self, tokens):
+        matched = match_phrase(tokens, "WORD", "=", "WORD")
+        if matched is not None:
+            var, value = matched
+            if value in ("T", "tt", "True"):
+                return ("test", BoolEq(var))
+            if value in ("F", "ff", "False"):
+                return ("pred", T.pnot(T.pprim(BoolEq(var))))
+        matched = match_phrase(tokens, "WORD", ":=", "WORD")
+        if matched is not None:
+            var, value = matched
+            if value in ("T", "tt", "True"):
+                return ("action", BoolAssign(var, True))
+            if value in ("F", "ff", "False"):
+                return ("action", BoolAssign(var, False))
+        matched = match_phrase(tokens, "flip", "WORD")
+        if matched is None:
+            matched = match_phrase(tokens, "flip", "(", "WORD", ")")
+        if matched is not None:
+            (var,) = matched
+            return ("term", self.flip(var))
+        raise ParseError(f"bitvec cannot parse phrase: {phrase_text(tokens)!r}")
+
+    # -- convenience builders -----------------------------------------------------
+    def eq(self, var, value=True):
+        """The test ``var = value`` as a predicate."""
+        base = T.pprim(BoolEq(var))
+        return base if value else T.pnot(base)
+
+    def assign(self, var, value):
+        """The action ``var := value`` as a term."""
+        return T.tprim(BoolAssign(var, value))
+
+    def flip(self, var):
+        """The derived action ``flip var``."""
+        return T.tplus(
+            T.tseq(T.ttest(self.eq(var, True)), self.assign(var, False)),
+            T.tseq(T.ttest(self.eq(var, False)), self.assign(var, True)),
+        )
+
+    def test_variables(self, alpha):
+        return (alpha.var,)
+
+    def action_variables(self, pi):
+        return (pi.var,)
+
+    def describe(self):
+        if self.variables:
+            return f"bitvec({', '.join(self.variables)})"
+        return "bitvec"

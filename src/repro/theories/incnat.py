@@ -1,0 +1,300 @@
+"""The theory of monotonically increasing naturals (paper Fig. 2, Section 1.2).
+
+Primitive tests:   ``x > n``                       (n a natural-number constant)
+Primitive actions: ``inc(x)``, ``x := n``, ``x += k`` and ``x *= k``
+                   (the latter two are the Section 1.2 "monotone, invertible"
+                   extensions: addition of a natural constant and
+                   multiplication by a positive constant)
+
+Derived sugar handled by the parser (all definable from ``x > n`` and the
+Boolean connectives):
+
+    ``x < n``   ==  ``~(x > n-1)``        (and ``x < 0`` == ``false``)
+    ``x >= n``  ==  ``x > n-1``           (and ``x >= 0`` == ``true``)
+    ``x <= n``  ==  ``~(x > n)``
+    ``x = n``   ==  ``x > n-1 ; ~(x > n)``  (``~(x > 0)`` for n = 0)
+
+The weakest preconditions are those of Fig. 2:
+
+    ``x := n ; x > m``   WP   ``1`` if n > m else ``0``
+    ``inc x ; x > 0``    WP   ``1``
+    ``inc x ; x > n``    WP   ``x > n-1``      (n > 0)
+    ``inc y ; x > n``    WP   ``x > n``        (y distinct from x)
+    ``x += k ; x > n``   WP   ``x > n-k``      (``1`` when k > n)
+    ``x *= k ; x > n``   WP   ``x > n // k``   (k >= 1)
+
+This theory has genuinely unbounded state — the paper's headline example of
+going beyond finite-state KAT extensions.  Comparing two variables (``x = y``)
+or decrementing would break the non-increasing pushback requirement (it would
+encode counter machines), so neither is provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import terms as T
+from repro.core.parser import match_phrase, phrase_text
+from repro.core.theory import Theory
+from repro.smt.natsolver import satisfiable_bounds
+from repro.utils.errors import ParseError, TheoryError
+from repro.utils.frozendict import FrozenDict
+
+
+@dataclass(frozen=True)
+class Gt:
+    """The primitive test ``var > bound``."""
+
+    var: str
+    bound: int
+
+    def __post_init__(self):
+        if self.bound < 0:
+            raise TheoryError(f"Gt bound must be a natural number, got {self.bound}")
+
+    def __str__(self):
+        return f"{self.var} > {self.bound}"
+
+
+@dataclass(frozen=True)
+class Incr:
+    """The primitive action ``inc(var)``."""
+
+    var: str
+
+    def __str__(self):
+        return f"inc({self.var})"
+
+
+@dataclass(frozen=True)
+class AddConst:
+    """The primitive action ``var += amount`` (amount a natural constant).
+
+    Section 1.2 notes that IncNat stays sound and complete when extended with
+    operations that are monotonically increasing and invertible; addition of a
+    constant is the paper's first example (Fig. 1a uses ``j := j + 2``).
+    """
+
+    var: str
+    amount: int
+
+    def __post_init__(self):
+        if self.amount < 0:
+            raise TheoryError(f"+= amount must be a natural number, got {self.amount}")
+
+    def __str__(self):
+        return f"{self.var} += {self.amount}"
+
+
+@dataclass(frozen=True)
+class MulConst:
+    """The primitive action ``var *= factor`` (factor a *positive* constant).
+
+    Multiplication by a positive constant is the paper's second example of a
+    monotone, invertible extension (it appears in Fig. 1b as ``j << 1``).
+    A factor of zero is rejected: it is not invertible and would break the
+    non-increasing weakest-precondition requirement.
+    """
+
+    var: str
+    factor: int
+
+    def __post_init__(self):
+        if self.factor < 1:
+            raise TheoryError(f"*= factor must be positive, got {self.factor}")
+
+    def __str__(self):
+        return f"{self.var} *= {self.factor}"
+
+
+@dataclass(frozen=True)
+class AssignNat:
+    """The primitive action ``var := value``."""
+
+    var: str
+    value: int
+
+    def __post_init__(self):
+        if self.value < 0:
+            raise TheoryError(f"assignment value must be a natural number, got {self.value}")
+
+    def __str__(self):
+        return f"{self.var} := {self.value}"
+
+
+class IncNatTheory(Theory):
+    """Increasing natural-number counters."""
+
+    name = "incnat"
+
+    def __init__(self, variables=None):
+        super().__init__()
+        self.variables = tuple(variables) if variables else ()
+
+    # -- ownership ---------------------------------------------------------
+    def owns_test(self, alpha):
+        return isinstance(alpha, Gt)
+
+    def owns_action(self, pi):
+        return isinstance(pi, (Incr, AssignNat, AddConst, MulConst))
+
+    # -- semantics -----------------------------------------------------------
+    def initial_state(self):
+        return FrozenDict({v: 0 for v in self.variables})
+
+    def pred(self, alpha, trace):
+        if not isinstance(alpha, Gt):
+            raise TheoryError(f"incnat cannot evaluate test {alpha!r}")
+        return trace.last_state.get(alpha.var, 0) > alpha.bound
+
+    def act(self, pi, state):
+        if isinstance(pi, Incr):
+            return state.set(pi.var, state.get(pi.var, 0) + 1)
+        if isinstance(pi, AssignNat):
+            return state.set(pi.var, pi.value)
+        if isinstance(pi, AddConst):
+            return state.set(pi.var, state.get(pi.var, 0) + pi.amount)
+        if isinstance(pi, MulConst):
+            return state.set(pi.var, state.get(pi.var, 0) * pi.factor)
+        raise TheoryError(f"incnat cannot execute action {pi!r}")
+
+    # -- pushback -------------------------------------------------------------
+    def push_back(self, pi, alpha):
+        if not isinstance(alpha, Gt):
+            raise TheoryError(f"incnat push_back on foreign test {alpha!r}")
+        if isinstance(pi, Incr):
+            if pi.var != alpha.var:
+                return [T.pprim(alpha)]                      # GT-Comm
+            if alpha.bound == 0:
+                return [T.pone()]                            # Inc-GT-Z
+            return [T.pprim(Gt(alpha.var, alpha.bound - 1))]  # Inc-GT
+        if isinstance(pi, AssignNat):
+            if pi.var != alpha.var:
+                return [T.pprim(alpha)]
+            # Assgn-GT: the constants decide the test statically.
+            return [T.pone()] if pi.value > alpha.bound else [T.pzero()]
+        if isinstance(pi, AddConst):
+            if pi.var != alpha.var:
+                return [T.pprim(alpha)]
+            # x += k ; x > n  ==  (x > n - k) ; x += k   (1 when k > n).
+            if pi.amount > alpha.bound:
+                return [T.pone()]
+            return [T.pprim(Gt(alpha.var, alpha.bound - pi.amount))]
+        if isinstance(pi, MulConst):
+            if pi.var != alpha.var:
+                return [T.pprim(alpha)]
+            # x *= k ; x > n  ==  (x > n // k) ; x *= k   for k >= 1:
+            # k*x > n  iff  x > floor(n / k)  over the naturals.
+            return [T.pprim(Gt(alpha.var, alpha.bound // pi.factor))]
+        raise TheoryError(f"incnat push_back on foreign action {pi!r}")
+
+    def subterms(self, alpha):
+        if not isinstance(alpha, Gt):
+            raise TheoryError(f"incnat subterms on foreign test {alpha!r}")
+        # sub(x > n) = { x > m | m <= n }; the core adds alpha itself.
+        return [T.pprim(Gt(alpha.var, m)) for m in range(alpha.bound)]
+
+    # -- satisfiability ---------------------------------------------------------
+    def satisfiable_conjunction(self, literals):
+        converted = []
+        for alpha, polarity in literals:
+            if not isinstance(alpha, Gt):
+                raise TheoryError(f"incnat literal on foreign test {alpha!r}")
+            converted.append((alpha.var, alpha.bound, polarity))
+        return satisfiable_bounds(converted)
+
+    # -- parsing ------------------------------------------------------------------
+    def parse_phrase(self, tokens):
+        matched = match_phrase(tokens, "WORD", ">", "NUM")
+        if matched is not None:
+            var, bound = matched
+            return ("test", Gt(var, bound))
+        matched = match_phrase(tokens, "WORD", ">=", "NUM")
+        if matched is not None:
+            var, bound = matched
+            return ("pred", self.ge(var, bound))
+        matched = match_phrase(tokens, "WORD", "<", "NUM")
+        if matched is not None:
+            var, bound = matched
+            return ("pred", self.lt(var, bound))
+        matched = match_phrase(tokens, "WORD", "<=", "NUM")
+        if matched is not None:
+            var, bound = matched
+            return ("pred", self.le(var, bound))
+        matched = match_phrase(tokens, "WORD", "=", "NUM")
+        if matched is not None:
+            var, value = matched
+            return ("pred", self.eq(var, value))
+        matched = match_phrase(tokens, "inc", "(", "WORD", ")")
+        if matched is None:
+            matched = match_phrase(tokens, "inc", "WORD")
+        if matched is not None:
+            (var,) = matched
+            return ("action", Incr(var))
+        matched = match_phrase(tokens, "WORD", ":=", "NUM")
+        if matched is not None:
+            var, value = matched
+            return ("action", AssignNat(var, value))
+        matched = match_phrase(tokens, "WORD", "+=", "NUM")
+        if matched is not None:
+            var, amount = matched
+            return ("action", AddConst(var, amount))
+        matched = match_phrase(tokens, "WORD", "*=", "NUM")
+        if matched is not None:
+            var, factor = matched
+            return ("action", MulConst(var, factor))
+        raise ParseError(f"incnat cannot parse phrase: {phrase_text(tokens)!r}")
+
+    # -- convenience builders -----------------------------------------------------
+    def gt(self, var, bound):
+        """The primitive test ``var > bound`` as a predicate."""
+        return T.pprim(Gt(var, bound))
+
+    def ge(self, var, bound):
+        """``var >= bound``."""
+        if bound == 0:
+            return T.pone()
+        return T.pprim(Gt(var, bound - 1))
+
+    def lt(self, var, bound):
+        """``var < bound``."""
+        if bound == 0:
+            return T.pzero()
+        return T.pnot(T.pprim(Gt(var, bound - 1)))
+
+    def le(self, var, bound):
+        """``var <= bound``."""
+        return T.pnot(T.pprim(Gt(var, bound)))
+
+    def eq(self, var, value):
+        """``var = value`` encoded with two bounds."""
+        if value == 0:
+            return T.pnot(T.pprim(Gt(var, 0)))
+        return T.pand(T.pprim(Gt(var, value - 1)), T.pnot(T.pprim(Gt(var, value))))
+
+    def inc(self, var):
+        """The action ``inc(var)`` as a term."""
+        return T.tprim(Incr(var))
+
+    def assign(self, var, value):
+        """The action ``var := value`` as a term."""
+        return T.tprim(AssignNat(var, value))
+
+    def add(self, var, amount):
+        """The action ``var += amount`` as a term."""
+        return T.tprim(AddConst(var, amount))
+
+    def mul(self, var, factor):
+        """The action ``var *= factor`` as a term."""
+        return T.tprim(MulConst(var, factor))
+
+    def test_variables(self, alpha):
+        return (alpha.var,)
+
+    def action_variables(self, pi):
+        return (pi.var,)
+
+    def describe(self):
+        if self.variables:
+            return f"incnat({', '.join(self.variables)})"
+        return "incnat"

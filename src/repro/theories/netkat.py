@@ -1,0 +1,172 @@
+"""Tracing NetKAT: packets as finite maps from fields to values (paper Fig. 4).
+
+Primitive tests:   ``f = v``       (field ``f`` currently holds value ``v``)
+Primitive actions: ``f <- v``      (write value ``v`` into field ``f``)
+
+Weakest preconditions (Fig. 4):
+
+    ``f <- v ; f = v``     WP   ``1``
+    ``f <- v ; f = v'``    WP   ``0``        (v distinct from v')
+    ``f' <- v ; f = w``    WP   ``f = w``    (f' distinct from f)
+
+This is the *tracing* variant discussed in Section 2.5: every write is
+recorded in the trace (as if NetKAT's ``dup`` preceded every field update),
+so the packet-merging NetKAT axioms ``PA-Mod-Mod``, ``PA-Filter-Mod`` and
+``PA-Mod-Mod-Comm`` do **not** hold here — the tests in ``tests/`` check that
+they are indeed rejected.
+
+Fields may be declared with finite value domains.  Domains matter for
+satisfiability: with a finite domain a conjunction of negative tests on a
+field can exhaust it (the ``PA-Match-All`` axiom ``Σ_v f = v == 1``), whereas
+an undeclared field behaves as if its domain were unbounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import terms as T
+from repro.core.parser import match_phrase, phrase_text
+from repro.core.theory import Theory
+from repro.utils.errors import ParseError, TheoryError
+from repro.utils.frozendict import FrozenDict
+
+
+@dataclass(frozen=True)
+class FieldEq:
+    """The primitive test ``field = value``."""
+
+    field: str
+    value: object
+
+    def __str__(self):
+        return f"{self.field} = {self.value}"
+
+
+@dataclass(frozen=True)
+class FieldAssign:
+    """The primitive action ``field <- value``."""
+
+    field: str
+    value: object
+
+    def __str__(self):
+        return f"{self.field} <- {self.value}"
+
+
+class NetKatTheory(Theory):
+    """Tracing NetKAT over a fixed set of packet fields."""
+
+    name = "netkat"
+
+    def __init__(self, fields=None):
+        """``fields`` maps field names to an iterable of possible values.
+
+        A field mapped to ``None`` (or an undeclared field) is treated as
+        having an unbounded value domain.
+        """
+        super().__init__()
+        self.fields = {}
+        if fields:
+            for field, domain in dict(fields).items():
+                self.fields[field] = None if domain is None else tuple(domain)
+
+    # -- ownership ---------------------------------------------------------
+    def owns_test(self, alpha):
+        return isinstance(alpha, FieldEq)
+
+    def owns_action(self, pi):
+        return isinstance(pi, FieldAssign)
+
+    # -- semantics -----------------------------------------------------------
+    def initial_state(self):
+        packet = {}
+        for field, domain in self.fields.items():
+            packet[field] = domain[0] if domain else 0
+        return FrozenDict(packet)
+
+    def pred(self, alpha, trace):
+        if not isinstance(alpha, FieldEq):
+            raise TheoryError(f"netkat cannot evaluate test {alpha!r}")
+        return trace.last_state.get(alpha.field) == alpha.value
+
+    def act(self, pi, state):
+        if not isinstance(pi, FieldAssign):
+            raise TheoryError(f"netkat cannot execute action {pi!r}")
+        return state.set(pi.field, pi.value)
+
+    # -- pushback -------------------------------------------------------------
+    def push_back(self, pi, alpha):
+        if not isinstance(pi, FieldAssign) or not isinstance(alpha, FieldEq):
+            raise TheoryError(f"netkat push_back on foreign primitives: {pi!r}, {alpha!r}")
+        if pi.field != alpha.field:
+            return [T.pprim(alpha)]
+        if pi.value == alpha.value:
+            return [T.pone()]
+        return [T.pzero()]
+
+    def subterms(self, alpha):
+        if not isinstance(alpha, FieldEq):
+            raise TheoryError(f"netkat subterms on foreign test {alpha!r}")
+        return []
+
+    # -- satisfiability ---------------------------------------------------------
+    def satisfiable_conjunction(self, literals):
+        positive = {}
+        negative = {}
+        for alpha, polarity in literals:
+            if not isinstance(alpha, FieldEq):
+                raise TheoryError(f"netkat literal on foreign test {alpha!r}")
+            if polarity:
+                existing = positive.get(alpha.field)
+                if existing is not None and existing != alpha.value:
+                    return False  # one field, two values (PA-Contra)
+                positive[alpha.field] = alpha.value
+            else:
+                negative.setdefault(alpha.field, set()).add(alpha.value)
+        for field, excluded in negative.items():
+            if field in positive:
+                if positive[field] in excluded:
+                    return False
+                continue
+            domain = self.fields.get(field)
+            if domain is not None and all(value in excluded for value in domain):
+                # Every possible value is excluded (PA-Match-All).
+                return False
+        return True
+
+    # -- parsing ------------------------------------------------------------------
+    def parse_phrase(self, tokens):
+        for pattern, kind in (
+            (("WORD", "=", "NUM"), "test"),
+            (("WORD", "=", "WORD"), "test"),
+            (("WORD", "<-", "NUM"), "action"),
+            (("WORD", "<-", "WORD"), "action"),
+        ):
+            matched = match_phrase(tokens, *pattern)
+            if matched is not None:
+                field, value = matched
+                if kind == "test":
+                    return ("test", FieldEq(field, value))
+                return ("action", FieldAssign(field, value))
+        raise ParseError(f"netkat cannot parse phrase: {phrase_text(tokens)!r}")
+
+    # -- convenience builders -----------------------------------------------------
+    def eq(self, field, value):
+        """The test ``field = value`` as a predicate."""
+        return T.pprim(FieldEq(field, value))
+
+    def assign(self, field, value):
+        """The action ``field <- value`` as a term."""
+        return T.tprim(FieldAssign(field, value))
+
+    def test_variables(self, alpha):
+        return (alpha.field,)
+
+    def action_variables(self, pi):
+        return (pi.field,)
+
+    def describe(self):
+        if self.fields:
+            return f"netkat({', '.join(sorted(self.fields))})"
+        return "netkat"

@@ -1,0 +1,254 @@
+"""Unbounded sets over an expression theory (paper Fig. 3c, Section 2.3).
+
+The set theory is *higher order*: it wraps an inner client theory ``E`` that
+provides the expressions whose values get inserted into sets.  Its own
+primitives are
+
+Primitive tests:   ``in(X, c)``   — is the constant ``c`` a member of set ``X``?
+Primitive actions: ``add(X, e)``  — insert the value of expression ``e`` into ``X``
+
+together with all of the inner theory's primitives.  Weakest preconditions
+(Fig. 3c)::
+
+    add(Y, e) ; in(X, c)    WP   in(X, c)                     (Y distinct from X)
+    add(X, e) ; in(X, c)    WP   (e = c) + in(X, c)           (Add-In)
+    add(X, e) ; alpha_E     WP   alpha_E                      (Add-Comm2)
+    pi_E      ; in(X, c)    WP   in(X, c)                     (inner actions don't touch sets)
+    pi_E      ; alpha_E     WP   delegated to E
+
+The equality test ``e = c`` must be expressible in (and *smaller than*
+``in(X, c)`` in the subterm ordering of) the inner theory; an
+:class:`ExpressionAdapter` supplies that encoding plus expression evaluation.
+The shipped :class:`NatExpressionAdapter` covers the paper's running example
+(expressions are IncNat variables or natural constants, with ``x = c``
+encoded as ``x > c-1 ; ~(x > c)``).
+
+Only insertion is provided (no deletion, no comparison of two sets); as the
+paper notes, richer operations would break the non-increasing pushback
+requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import terms as T
+from repro.core.parser import match_phrase, phrase_text
+from repro.core.theory import Theory
+from repro.utils.errors import ParseError, TheoryError
+from repro.utils.frozendict import FrozenDict
+
+
+@dataclass(frozen=True)
+class SetIn:
+    """The primitive test ``in(set_var, constant)``."""
+
+    set_var: str
+    constant: object
+
+    def __str__(self):
+        return f"in({self.set_var}, {self.constant})"
+
+
+@dataclass(frozen=True)
+class SetAdd:
+    """The primitive action ``add(set_var, expression)``."""
+
+    set_var: str
+    expr: object
+
+    def __str__(self):
+        return f"add({self.set_var}, {self.expr})"
+
+
+class ExpressionAdapter:
+    """How the set theory talks about the inner theory's expressions.
+
+    Expressions are opaque hashable objects; the adapter must be able to
+
+    * recognise them when parsing (:meth:`parse_expr`),
+    * encode the test "expression equals constant" as an inner-theory
+      predicate (:meth:`eq_pred`) that is *no larger* than the set-membership
+      tests in the subterm ordering,
+    * enumerate the equality predicates that pushback might produce for a
+      given constant (:meth:`eq_subterms`), which seeds the ordering, and
+    * evaluate an expression in an inner-theory state (:meth:`eval_expr`).
+    """
+
+    def parse_expr(self, text):
+        raise NotImplementedError
+
+    def eq_pred(self, expr, constant):
+        raise NotImplementedError
+
+    def eq_subterms(self, constant):
+        raise NotImplementedError
+
+    def eval_expr(self, expr, inner_state):
+        raise NotImplementedError
+
+
+class NatExpressionAdapter(ExpressionAdapter):
+    """Expressions over an :class:`~repro.theories.incnat.IncNatTheory`.
+
+    An expression is either the name of an IncNat variable or a natural-number
+    constant.  ``variables`` declares the variable names that may be inserted
+    into sets; it seeds :meth:`eq_subterms` so the maximal-subterm ordering
+    knows every equality test pushback can generate.
+    """
+
+    def __init__(self, incnat, variables=()):
+        self.incnat = incnat
+        self.variables = tuple(variables)
+
+    def parse_expr(self, text):
+        text = text.strip()
+        if text.isdigit():
+            return int(text)
+        return text
+
+    def eq_pred(self, expr, constant):
+        constant = int(constant)
+        if isinstance(expr, int):
+            return T.pone() if expr == constant else T.pzero()
+        return self.incnat.eq(expr, constant)
+
+    def eq_subterms(self, constant):
+        preds = []
+        for var in self.variables:
+            preds.append(self.eq_pred(var, constant))
+        return preds
+
+    def eval_expr(self, expr, inner_state):
+        if isinstance(expr, int):
+            return expr
+        return inner_state.get(expr, 0)
+
+
+class SetTheory(Theory):
+    """Unbounded sets of inner-theory values."""
+
+    name = "set"
+
+    def __init__(self, inner, adapter, set_variables=()):
+        super().__init__()
+        self.inner = inner
+        self.adapter = adapter
+        self.set_variables = tuple(set_variables)
+
+    # -- recursive knot -------------------------------------------------------
+    def attach(self, kmt):
+        super().attach(kmt)
+        self.inner.attach(kmt)
+
+    # -- ownership ---------------------------------------------------------
+    def owns_test(self, alpha):
+        return isinstance(alpha, SetIn) or self.inner.owns_test(alpha)
+
+    def owns_action(self, pi):
+        return isinstance(pi, SetAdd) or self.inner.owns_action(pi)
+
+    # -- semantics -----------------------------------------------------------
+    def initial_state(self):
+        sets = FrozenDict({v: frozenset() for v in self.set_variables})
+        return (sets, self.inner.initial_state())
+
+    def pred(self, alpha, trace):
+        if isinstance(alpha, SetIn):
+            sets = trace.last_state[0]
+            return alpha.constant in sets.get(alpha.set_var, frozenset())
+        projected = trace.map_states(lambda s: s[1])
+        return self.inner.pred(alpha, projected)
+
+    def act(self, pi, state):
+        sets, inner_state = state
+        if isinstance(pi, SetAdd):
+            value = self.adapter.eval_expr(pi.expr, inner_state)
+            current = sets.get(pi.set_var, frozenset())
+            return (sets.set(pi.set_var, current | {value}), inner_state)
+        return (sets, self.inner.act(pi, inner_state))
+
+    # -- pushback -------------------------------------------------------------
+    def push_back(self, pi, alpha):
+        set_action = isinstance(pi, SetAdd)
+        set_test = isinstance(alpha, SetIn)
+        if set_action and set_test:
+            if pi.set_var != alpha.set_var:
+                return [T.pprim(alpha)]                              # Add-Comm
+            equality = self.adapter.eq_pred(pi.expr, alpha.constant)
+            return [equality, T.pprim(alpha)]                        # Add-In
+        if set_action and not set_test:
+            return [T.pprim(alpha)]                                  # Add-Comm2
+        if not set_action and set_test:
+            # Inner actions never modify sets.
+            return [T.pprim(alpha)]
+        return self.inner.push_back(pi, alpha)
+
+    def subterms(self, alpha):
+        if isinstance(alpha, SetIn):
+            # sub(in(X, c)) must cover every equality test Add-In can produce.
+            return list(self.adapter.eq_subterms(alpha.constant))
+        return self.inner.subterms(alpha)
+
+    # -- satisfiability ---------------------------------------------------------
+    def satisfiable_conjunction(self, literals):
+        membership = {}
+        inner_literals = []
+        for alpha, polarity in literals:
+            if isinstance(alpha, SetIn):
+                key = (alpha.set_var, alpha.constant)
+                previous = membership.get(key)
+                if previous is not None and previous != polarity:
+                    return False
+                membership[key] = polarity
+            else:
+                inner_literals.append((alpha, polarity))
+        # Membership atoms are otherwise unconstrained: any combination of
+        # "c in X" facts is realisable by choosing the sets appropriately.
+        if inner_literals and not self.inner.satisfiable_conjunction(inner_literals):
+            return False
+        return True
+
+    # -- parsing ------------------------------------------------------------------
+    def parse_phrase(self, tokens):
+        matched = match_phrase(tokens, "in", "(", "WORD", ",", "NUM", ")")
+        if matched is not None:
+            set_var, constant = matched
+            return ("test", SetIn(set_var, constant))
+        matched = match_phrase(tokens, "add", "(", "WORD", ",", "WORD", ")")
+        if matched is not None:
+            set_var, expr_text = matched
+            return ("action", SetAdd(set_var, self.adapter.parse_expr(expr_text)))
+        matched = match_phrase(tokens, "add", "(", "WORD", ",", "NUM", ")")
+        if matched is not None:
+            set_var, constant = matched
+            return ("action", SetAdd(set_var, int(constant)))
+        try:
+            return self.inner.parse_phrase(tokens)
+        except ParseError:
+            raise ParseError(f"set theory cannot parse phrase: {phrase_text(tokens)!r}")
+
+    def parser_keywords(self):
+        return self.inner.parser_keywords()
+
+    # -- convenience builders -----------------------------------------------------
+    def member(self, set_var, constant):
+        """The test ``in(set_var, constant)`` as a predicate."""
+        return T.pprim(SetIn(set_var, constant))
+
+    def add(self, set_var, expr):
+        """The action ``add(set_var, expr)`` as a term."""
+        return T.tprim(SetAdd(set_var, expr))
+
+    def test_variables(self, alpha):
+        if isinstance(alpha, SetIn):
+            return (alpha.set_var,)
+        return self.inner.test_variables(alpha)
+
+    def action_variables(self, pi):
+        if isinstance(pi, SetAdd):
+            return (pi.set_var,)
+        return self.inner.action_variables(pi)
+
+    def describe(self):
+        return f"set({self.inner.describe()})"

@@ -1,0 +1,33 @@
+"""Temporal NetKAT = LTLf instantiated over tracing NetKAT (paper Section 2.6).
+
+The paper's point is that Temporal NetKAT — an entire PLDI 2016 system — falls
+out of the framework by mere composition: take the tracing NetKAT theory of
+Fig. 4 and apply the higher-order LTLf theory of Fig. 3d to it.  This module
+is correspondingly tiny: it exposes a constructor for the composed theory and
+a couple of conveniences for writing network-history queries.
+"""
+
+from __future__ import annotations
+
+from repro.theories.ltlf import LtlfTheory
+from repro.theories.netkat import NetKatTheory
+
+
+def temporal_netkat(fields=None, trace_bound=8):
+    """Build the Temporal NetKAT theory: ``LTLf(NetKAT(fields))``.
+
+    Returns the :class:`~repro.theories.ltlf.LtlfTheory` wrapping a
+    :class:`~repro.theories.netkat.NetKatTheory`; the underlying NetKAT theory
+    is available as ``theory.inner`` for building field tests and assignments.
+    """
+    return LtlfTheory(NetKatTheory(fields), trace_bound=trace_bound)
+
+
+def waypoint_query(theory, field, value):
+    """The predicate "the packet has (at some point) traversed ``field = value``".
+
+    A typical Temporal NetKAT verification asks whether every delivered packet
+    passed through a waypoint (say a firewall switch): for a network program
+    ``r`` that is the equivalence ``r == r ; ev(sw = FW)``.
+    """
+    return theory.ever(theory.inner.eq(field, value))

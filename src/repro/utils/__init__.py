@@ -1,0 +1,21 @@
+"""Shared utilities for the KMT reproduction.
+
+The submodules here are deliberately small and dependency-free so the rest of
+the library (terms, theories, solvers) can rely on them without import cycles.
+"""
+
+from repro.utils.errors import (
+    KmtError,
+    NormalizationBudgetExceeded,
+    ParseError,
+    TheoryError,
+)
+from repro.utils.frozendict import FrozenDict
+
+__all__ = [
+    "FrozenDict",
+    "KmtError",
+    "NormalizationBudgetExceeded",
+    "ParseError",
+    "TheoryError",
+]

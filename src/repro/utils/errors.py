@@ -1,0 +1,44 @@
+"""Exception hierarchy for the KMT library."""
+
+
+class KmtError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class TheoryError(KmtError):
+    """A client theory was given an argument it does not understand.
+
+    Raised, for example, when a theory's ``push_back`` is handed a primitive
+    action or test that belongs to a different theory, or when a higher-order
+    theory (products, sets, LTLf) cannot find an owner for a primitive.
+    """
+
+
+class ParseError(KmtError):
+    """Raised by the concrete-syntax parser on malformed input."""
+
+    def __init__(self, message, position=None, text=None):
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            message = f"{message} (at position {position} in {text!r})"
+        super().__init__(message)
+
+
+class NormalizationBudgetExceeded(KmtError):
+    """The pushback-based normalization exceeded its step budget.
+
+    Normalization is guaranteed to terminate (Theorem 3.5 of the paper) but can
+    take doubly-exponential time on terms with sums nested under Kleene star
+    (the ``Denest`` rule blow-up discussed in the paper's evaluation).  A step
+    budget turns that blow-up into a catchable exception rather than an
+    apparent hang; the Fig. 9 "timeout" row relies on this.
+    """
+
+    def __init__(self, budget, message=None):
+        self.budget = budget
+        super().__init__(message or f"normalization exceeded its step budget of {budget}")
+
+
+class SolverError(KmtError):
+    """A satisfiability query could not be answered by the available solvers."""

@@ -1,0 +1,91 @@
+"""A small immutable, hashable mapping used for theory states.
+
+Tracing semantics (paper Fig. 5) requires states to be stored inside traces,
+which in turn are stored in sets, so states must be hashable.  Client theories
+almost always want "a finite map from variables/fields to values"; this class
+provides exactly that with value semantics.
+"""
+
+from collections.abc import Mapping
+
+
+class FrozenDict(Mapping):
+    """An immutable mapping with structural equality and hashing.
+
+    >>> s = FrozenDict({"x": 1, "y": 2})
+    >>> s["x"]
+    1
+    >>> s.set("x", 5)["x"]
+    5
+    >>> s == FrozenDict({"y": 2, "x": 1})
+    True
+    """
+
+    __slots__ = ("_data", "_hash")
+
+    def __init__(self, data=None, **kwargs):
+        items = {}
+        if data is not None:
+            items.update(data)
+        items.update(kwargs)
+        self._data = dict(items)
+        self._hash = None
+
+    # -- Mapping interface -------------------------------------------------
+    def __getitem__(self, key):
+        return self._data[key]
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __len__(self):
+        return len(self._data)
+
+    def __contains__(self, key):
+        return key in self._data
+
+    def get(self, key, default=None):
+        return self._data.get(key, default)
+
+    # -- value semantics ----------------------------------------------------
+    def __hash__(self):
+        if self._hash is None:
+            self._hash = hash(frozenset(self._data.items()))
+        return self._hash
+
+    def __eq__(self, other):
+        if isinstance(other, FrozenDict):
+            return self._data == other._data
+        if isinstance(other, Mapping):
+            return self._data == dict(other)
+        return NotImplemented
+
+    def __repr__(self):
+        inner = ", ".join(f"{k!r}: {v!r}" for k, v in sorted(self._data.items(), key=lambda kv: repr(kv[0])))
+        return "FrozenDict({" + inner + "})"
+
+    # -- functional updates --------------------------------------------------
+    def set(self, key, value):
+        """Return a copy of this mapping with ``key`` bound to ``value``."""
+        new = dict(self._data)
+        new[key] = value
+        return FrozenDict(new)
+
+    def update(self, other):
+        """Return a copy of this mapping updated with the entries of ``other``."""
+        new = dict(self._data)
+        new.update(other)
+        return FrozenDict(new)
+
+    def remove(self, key):
+        """Return a copy of this mapping without ``key`` (no error if absent)."""
+        new = dict(self._data)
+        new.pop(key, None)
+        return FrozenDict(new)
+
+    def to_dict(self):
+        """Return a plain mutable ``dict`` copy."""
+        return dict(self._data)
+
+
+EMPTY_FROZENDICT = FrozenDict()

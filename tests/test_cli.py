@@ -1,0 +1,112 @@
+"""Tests for the command-line interface (the paper's partitioning tool)."""
+
+import pytest
+
+from repro.cli import build_theory, main
+from repro.theories.bitvec import BitVecTheory
+from repro.theories.incnat import IncNatTheory
+from repro.theories.ltlf import LtlfTheory
+from repro.theories.netkat import NetKatTheory
+from repro.theories.product import ProductTheory
+from repro.utils.errors import KmtError
+
+
+class TestTheoryPresets:
+    def test_known_presets(self):
+        assert isinstance(build_theory("incnat"), IncNatTheory)
+        assert isinstance(build_theory("bitvec"), BitVecTheory)
+        assert isinstance(build_theory("netkat"), NetKatTheory)
+        assert isinstance(build_theory("product"), ProductTheory)
+        assert isinstance(build_theory("ltlf-nat"), LtlfTheory)
+        assert isinstance(build_theory("temporal-netkat"), LtlfTheory)
+
+    def test_unknown_preset(self):
+        with pytest.raises(KmtError):
+            build_theory("quantum-gravity")
+
+
+class TestEquivCommand:
+    def test_equivalent_terms_exit_zero(self, capsys):
+        code = main(["--theory", "incnat", "equiv", "inc(x); x > 1", "x > 0; inc(x)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "equivalent" in out
+
+    def test_inequivalent_terms_exit_one(self, capsys):
+        code = main(["--theory", "incnat", "equiv", "x > 1", "x > 2"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NOT equivalent" in out
+        assert "counterexample" in out
+
+    def test_bitvec_theory_selection(self, capsys):
+        code = main(["--theory", "bitvec", "equiv", "a := T; a = T", "a := T"])
+        assert code == 0
+
+
+class TestNormCommand:
+    def test_norm_prints_summands(self, capsys):
+        code = main(["--theory", "incnat", "norm", "inc(x)*; x > 1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "+" in captured.out
+        assert "summands" in captured.err
+
+
+class TestSatCommand:
+    def test_sat(self, capsys):
+        assert main(["--theory", "incnat", "sat", "x > 3; ~(x > 5)"]) == 0
+        assert "satisfiable" in capsys.readouterr().out
+
+    def test_unsat(self, capsys):
+        assert main(["--theory", "incnat", "sat", "x > 5; ~(x > 3)"]) == 1
+        assert "unsatisfiable" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_run_prints_traces(self, capsys):
+        code = main(["--theory", "incnat", "run", "inc(x); inc(x)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "inc(x)" in out
+
+    def test_run_rejecting_program(self, capsys):
+        code = main(["--theory", "incnat", "run", "x > 5"])
+        assert code == 1
+        assert "no traces" in capsys.readouterr().out
+
+
+class TestClassesCommand:
+    def test_partitions_file(self, tmp_path, capsys):
+        terms_file = tmp_path / "terms.txt"
+        terms_file.write_text(
+            "\n".join(
+                [
+                    "# population of equivalent and inequivalent terms",
+                    "inc(x); x > 1",
+                    "x > 0; inc(x)",
+                    "inc(x)",
+                    "",
+                ]
+            )
+        )
+        code = main(["--theory", "incnat", "classes", str(terms_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "class 0:" in out and "class 1:" in out
+        assert "class 2:" not in out
+
+
+class TestErrorHandling:
+    def test_kmt_errors_reported_cleanly(self, capsys):
+        code = main(["--theory", "nosuch", "sat", "true"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_budget_flag_threaded_through(self, capsys):
+        code = main(
+            ["--theory", "bitvec", "--budget", "2000", "equiv",
+             "(flip a + flip b + flip c)*", "(flip a + flip b + flip c)*"]
+        )
+        assert code == 2
+        assert "budget" in capsys.readouterr().err

@@ -1,0 +1,112 @@
+"""Cross-theory consistency checks: pretty-printing round trips and
+normalization soundness for every shipped theory.
+
+Each theory's own test module digs into its specifics; this module sweeps a
+fixed battery of representative terms across *all* theories and checks the
+generic invariants that tie the pipeline together:
+
+* pretty-printing then re-parsing is the identity;
+* normalization produces restricted actions only and preserves the decision
+  procedure's verdicts (``p == nf(p)``);
+* the normal form converted back to a term is still equivalent to the input;
+* equivalence is reflexive and stable under pretty/re-parse.
+"""
+
+import pytest
+
+from repro.core import terms as T
+from repro.core.kmt import KMT
+from repro.core.pretty import pretty_term
+from repro.theories.bitvec import BitVecTheory
+from repro.theories.incnat import IncNatTheory
+from repro.theories.ltlf import LtlfTheory
+from repro.theories.maps import MapTheory, NatBoolMapAdapter
+from repro.theories.netkat import NetKatTheory
+from repro.theories.product import ProductTheory
+from repro.theories.sets import NatExpressionAdapter, SetTheory
+from repro.theories.temporal_netkat import temporal_netkat
+
+
+def _incnat():
+    return IncNatTheory(variables=("x", "y"))
+
+
+def _bitvec():
+    return BitVecTheory(variables=("a", "b"))
+
+
+def _product():
+    return ProductTheory(IncNatTheory(variables=("x",)), BitVecTheory(variables=("a",)))
+
+
+def _netkat():
+    return NetKatTheory({"sw": (1, 2), "dst": (1, 2)})
+
+
+def _sets():
+    nat = IncNatTheory(variables=("i",))
+    return SetTheory(nat, NatExpressionAdapter(nat, variables=("i",)), set_variables=("X",))
+
+
+def _maps():
+    nat = IncNatTheory(variables=("i",))
+    bools = BitVecTheory(variables=("p",))
+    adapter = NatBoolMapAdapter(nat, bools, key_variables=("i",), value_variables=("p",))
+    return MapTheory(ProductTheory(nat, bools), adapter, map_variables=("m",))
+
+
+def _ltlf():
+    return LtlfTheory(IncNatTheory(variables=("x",)))
+
+
+def _temporal_netkat():
+    return temporal_netkat({"sw": (1, 2)})
+
+
+CASES = [
+    ("incnat", _incnat, ["inc(x); x > 2", "x := 3; x > 1 + inc(y)", "(x < 2; inc(x))*; ~(x < 2)", "x += 2; x *= 3; x > 5"]),
+    ("bitvec", _bitvec, ["a := T; a = T", "flip a; b = F", "(a = F; a := T)*"]),
+    ("product", _product, ["x < 1; a = T; inc(x)", "a := T + inc(x); x > 0"]),
+    ("netkat", _netkat, ["sw = 1; dst <- 2; sw <- 2", "(sw = 1; sw <- 2 + sw = 2; sw <- 1)*"]),
+    ("sets", _sets, ["add(X, i); in(X, 3)", "(inc(i); add(X, i))*; i > 2"]),
+    ("maps", _maps, ["i := 1; p := T; m[i] := p; m[1] = T"]),
+    ("ltlf", _ltlf, ["inc(x); last(x > 0)", "x > 1; since(x > 0, x > 1)", "ev(x > 2); inc(x)"]),
+    ("temporal-netkat", _temporal_netkat, ["sw = 1; sw <- 2; ev(sw = 1)"]),
+]
+
+
+@pytest.mark.parametrize(
+    "name,builder,sources", CASES, ids=[name for name, _, _ in CASES]
+)
+class TestAcrossTheories:
+    def test_pretty_parse_roundtrip(self, name, builder, sources):
+        kmt = KMT(builder())
+        for source in sources:
+            term = kmt.parse(source)
+            assert kmt.parse(pretty_term(term)) == term
+
+    def test_normal_forms_are_restricted(self, name, builder, sources):
+        kmt = KMT(builder())
+        for source in sources:
+            nf = kmt.normalize(kmt.parse(source))
+            for _, action in nf:
+                assert T.is_restricted(action)
+
+    def test_normalization_preserves_equivalence(self, name, builder, sources):
+        kmt = KMT(builder())
+        for source in sources:
+            term = kmt.parse(source)
+            nf_term = kmt.normalize(term).to_term()
+            assert kmt.equivalent(term, nf_term)
+
+    def test_equivalence_reflexive(self, name, builder, sources):
+        kmt = KMT(builder())
+        for source in sources:
+            term = kmt.parse(source)
+            assert kmt.equivalent(term, term)
+
+    def test_self_plus_self_collapses(self, name, builder, sources):
+        kmt = KMT(builder())
+        for source in sources:
+            term = kmt.parse(source)
+            assert kmt.equivalent(T.tplus(term, term), term)

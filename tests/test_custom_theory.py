@@ -1,0 +1,179 @@
+"""A client theory defined purely against the public interface.
+
+The framework's promise (Section 1) is that outsiders can define new concrete
+KATs without touching the core.  This test module plays the outsider: it
+defines a *modular traffic-light* theory from scratch — a finite ordered cycle
+with a monotone-within-a-phase "advance to" action — using only the public
+`Theory` API, and then checks that everything the framework derives (parsing,
+semantics, normalization, equivalence, emptiness, Hoare triples) works on it.
+
+It doubles as a regression test that the `Theory` interface is actually
+sufficient: if a framework change makes some hidden hook mandatory, this
+module is the canary.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis import HoareLogic
+from repro.core import terms as T
+from repro.core.kmt import KMT
+from repro.core.parser import match_phrase, phrase_text
+from repro.core.theory import Theory
+from repro.theories.product import ProductTheory
+from repro.theories.bitvec import BitVecTheory
+from repro.utils.errors import ParseError, TheoryError
+from repro.utils.frozendict import FrozenDict
+
+PHASES = ("RED", "AMBER", "GREEN")
+RANK = {name: index for index, name in enumerate(PHASES)}
+
+
+@dataclass(frozen=True)
+class PhaseAtLeast:
+    """Primitive test ``light >= PHASE`` in the RED < AMBER < GREEN order."""
+
+    var: str
+    phase: str
+
+    def __str__(self):
+        return f"{self.var} >= {self.phase}"
+
+
+@dataclass(frozen=True)
+class AdvanceTo:
+    """Primitive action ``advance(light, PHASE)``: move forward to at least PHASE."""
+
+    var: str
+    phase: str
+
+    def __str__(self):
+        return f"advance({self.var}, {self.phase})"
+
+
+class TrafficTheory(Theory):
+    name = "traffic"
+
+    def owns_test(self, alpha):
+        return isinstance(alpha, PhaseAtLeast)
+
+    def owns_action(self, pi):
+        return isinstance(pi, AdvanceTo)
+
+    def initial_state(self):
+        return FrozenDict()
+
+    def pred(self, alpha, trace):
+        return RANK[trace.last_state.get(alpha.var, "RED")] >= RANK[alpha.phase]
+
+    def act(self, pi, state):
+        current = state.get(pi.var, "RED")
+        if RANK[current] >= RANK[pi.phase]:
+            return state.set(pi.var, current)
+        return state.set(pi.var, pi.phase)
+
+    def push_back(self, pi, alpha):
+        if not isinstance(pi, AdvanceTo) or not isinstance(alpha, PhaseAtLeast):
+            raise TheoryError("foreign primitives")
+        if pi.var != alpha.var:
+            return [T.pprim(alpha)]
+        if RANK[pi.phase] >= RANK[alpha.phase]:
+            return [T.pone()]
+        return [T.pprim(alpha)]
+
+    def subterms(self, alpha):
+        return []
+
+    def satisfiable_conjunction(self, literals):
+        lower = {}
+        upper = {}
+        for alpha, polarity in literals:
+            rank = RANK[alpha.phase]
+            if polarity:
+                lower[alpha.var] = max(lower.get(alpha.var, 0), rank)
+            else:
+                upper[alpha.var] = min(upper.get(alpha.var, len(PHASES)), rank)
+        for var, need in lower.items():
+            if need >= upper.get(var, len(PHASES)):
+                return False
+        return all(cap > 0 for cap in upper.values())
+
+    def parse_phrase(self, tokens):
+        matched = match_phrase(tokens, "WORD", ">=", "WORD")
+        if matched is not None and matched[1] in RANK:
+            return ("test", PhaseAtLeast(matched[0], matched[1]))
+        matched = match_phrase(tokens, "advance", "(", "WORD", ",", "WORD", ")")
+        if matched is not None and matched[1] in RANK:
+            return ("action", AdvanceTo(matched[0], matched[1]))
+        raise ParseError(f"traffic theory cannot parse {phrase_text(tokens)!r}")
+
+
+@pytest.fixture
+def kmt():
+    return KMT(TrafficTheory())
+
+
+class TestDerivedMachinery:
+    def test_parsing(self, kmt):
+        term = kmt.parse("light >= AMBER; advance(light, GREEN)")
+        assert isinstance(term, T.TSeq)
+
+    def test_semantics(self, kmt):
+        traces = kmt.run("advance(light, AMBER); light >= AMBER")
+        assert len(traces) == 1
+        assert next(iter(traces)).last_state["light"] == "AMBER"
+
+    def test_pushback_axiom(self, kmt):
+        assert kmt.equivalent("advance(light, GREEN); light >= AMBER", "advance(light, GREEN)")
+        assert kmt.equivalent(
+            "advance(light, AMBER); light >= GREEN", "light >= GREEN; advance(light, AMBER)"
+        )
+
+    def test_monotonicity_is_captured(self, kmt):
+        """Once GREEN is reached, advancing never loses it."""
+        assert kmt.equivalent(
+            "light >= GREEN; advance(light, AMBER); light >= GREEN",
+            "light >= GREEN; advance(light, AMBER)",
+        )
+
+    def test_unreachable_phase_is_empty(self, kmt):
+        assert kmt.is_empty("~(light >= AMBER); advance(light, AMBER); light >= GREEN")
+        assert not kmt.is_empty("advance(light, AMBER); light >= AMBER")
+
+    def test_normalization_of_guarded_loop(self, kmt):
+        loop = "(~(light >= GREEN); advance(light, GREEN))*; light >= GREEN"
+        nf = kmt.normalize(kmt.parse(loop))
+        for _, action in nf:
+            assert T.is_restricted(action)
+        assert not kmt.is_empty(loop)
+
+    def test_satisfiability(self, kmt):
+        assert kmt.satisfiable("light >= AMBER; ~(light >= GREEN)")
+        assert not kmt.satisfiable("light >= GREEN; ~(light >= AMBER)")
+        assert not kmt.satisfiable("~(light >= RED)")
+
+    def test_counterexample_on_failure(self, kmt):
+        result = kmt.check_equivalent(
+            "advance(light, AMBER); light >= GREEN", "advance(light, AMBER)"
+        )
+        assert not result.equivalent
+        assert result.counterexample is not None
+
+    def test_hoare_layer_works_unmodified(self, kmt):
+        hoare = HoareLogic(kmt)
+        assert hoare.holds("true", "advance(light, GREEN)", "light >= GREEN")
+        assert hoare.holds("light >= AMBER", "advance(light, RED)", "light >= AMBER")
+        assert not hoare.holds("true", "advance(light, AMBER)", "light >= GREEN")
+
+    def test_composes_with_shipped_theories(self):
+        """The new theory drops straight into a product with BitVec."""
+        theory = ProductTheory(TrafficTheory(), BitVecTheory(variables=("button",)))
+        kmt = KMT(theory)
+        assert kmt.equivalent(
+            "button = T; advance(light, GREEN); light >= AMBER",
+            "button = T; advance(light, GREEN)",
+        )
+        assert kmt.equivalent(
+            "advance(light, GREEN); button = T", "button = T; advance(light, GREEN)"
+        )

@@ -1,0 +1,92 @@
+"""Unit tests for the immutable mapping used as theory state."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.frozendict import EMPTY_FROZENDICT, FrozenDict
+
+
+class TestBasics:
+    def test_lookup_and_len(self):
+        d = FrozenDict({"x": 1, "y": 2})
+        assert d["x"] == 1
+        assert len(d) == 2
+        assert set(d) == {"x", "y"}
+        assert "x" in d and "z" not in d
+
+    def test_get_default(self):
+        d = FrozenDict({"x": 1})
+        assert d.get("x") == 1
+        assert d.get("z") is None
+        assert d.get("z", 7) == 7
+
+    def test_kwargs_constructor(self):
+        assert FrozenDict(x=1)["x"] == 1
+        assert FrozenDict({"x": 1}, y=2) == FrozenDict({"x": 1, "y": 2})
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            FrozenDict()["missing"]
+
+    def test_empty_constant(self):
+        assert len(EMPTY_FROZENDICT) == 0
+
+
+class TestValueSemantics:
+    def test_equality_order_independent(self):
+        assert FrozenDict({"x": 1, "y": 2}) == FrozenDict({"y": 2, "x": 1})
+
+    def test_equality_with_plain_dict(self):
+        assert FrozenDict({"x": 1}) == {"x": 1}
+
+    def test_hash_equal_for_equal_values(self):
+        assert hash(FrozenDict({"x": 1, "y": 2})) == hash(FrozenDict({"y": 2, "x": 1}))
+
+    def test_usable_in_sets(self):
+        s = {FrozenDict({"x": 1}), FrozenDict({"x": 1}), FrozenDict({"x": 2})}
+        assert len(s) == 2
+
+    def test_repr_is_deterministic(self):
+        assert repr(FrozenDict({"b": 2, "a": 1})) == repr(FrozenDict({"a": 1, "b": 2}))
+
+
+class TestFunctionalUpdates:
+    def test_set_returns_new_mapping(self):
+        d = FrozenDict({"x": 1})
+        d2 = d.set("x", 5)
+        assert d["x"] == 1
+        assert d2["x"] == 5
+
+    def test_set_new_key(self):
+        d = FrozenDict({"x": 1}).set("y", 2)
+        assert d == FrozenDict({"x": 1, "y": 2})
+
+    def test_update(self):
+        d = FrozenDict({"x": 1, "y": 2}).update({"y": 3, "z": 4})
+        assert d == FrozenDict({"x": 1, "y": 3, "z": 4})
+
+    def test_remove(self):
+        d = FrozenDict({"x": 1, "y": 2}).remove("x")
+        assert d == FrozenDict({"y": 2})
+        assert d.remove("not-there") == d
+
+    def test_to_dict_copy(self):
+        d = FrozenDict({"x": 1})
+        plain = d.to_dict()
+        plain["x"] = 99
+        assert d["x"] == 1
+
+
+class TestProperties:
+    @given(st.dictionaries(st.text(max_size=3), st.integers(), max_size=5))
+    def test_roundtrip_through_dict(self, data):
+        assert FrozenDict(data).to_dict() == data
+
+    @given(
+        st.dictionaries(st.text(max_size=3), st.integers(), max_size=5),
+        st.text(max_size=3),
+        st.integers(),
+    )
+    def test_set_then_get(self, data, key, value):
+        assert FrozenDict(data).set(key, value)[key] == value

@@ -1,0 +1,109 @@
+"""Tests for the Hoare-logic layer (KAT subsumes propositional Hoare logic)."""
+
+import pytest
+
+from repro.analysis import HoareLogic, HoareTriple
+from repro.core import terms as T
+from repro.core.kmt import KMT
+from repro.theories.bitvec import BitVecTheory
+from repro.theories.incnat import IncNatTheory
+
+
+@pytest.fixture
+def kmt():
+    return KMT(IncNatTheory(variables=("x", "y")))
+
+
+@pytest.fixture
+def hoare(kmt):
+    return HoareLogic(kmt)
+
+
+class TestTripleObject:
+    def test_encoding_shape(self, kmt):
+        triple = HoareTriple(
+            kmt.parse_pred("x > 1"), kmt.parse("inc(x)"), kmt.parse_pred("x > 2")
+        )
+        encoding = triple.encoding()
+        assert isinstance(encoding, T.TSeq)
+        assert "{" in repr(triple)
+
+    def test_type_checking(self, kmt):
+        with pytest.raises(TypeError):
+            HoareTriple("not a pred", kmt.parse("inc(x)"), kmt.parse_pred("x > 1"))
+        with pytest.raises(TypeError):
+            HoareTriple(kmt.parse_pred("x > 1"), "not a term", kmt.parse_pred("x > 1"))
+
+    def test_string_arguments_parsed(self, hoare):
+        triple = hoare.triple("x > 1", "inc(x)", "x > 2")
+        assert isinstance(triple, HoareTriple)
+
+
+class TestValidity:
+    def test_increment_strengthens_bound(self, hoare):
+        assert hoare.holds("x > 1", "inc(x)", "x > 2")
+        assert hoare.holds("x > 1", "inc(x)", "x > 1")
+        assert not hoare.holds("x > 1", "inc(x)", "x > 3")
+
+    def test_assignment_establishes_postcondition(self, hoare):
+        assert hoare.holds("true", "x := 5", "x > 4")
+        assert not hoare.holds("true", "x := 5", "x > 5")
+
+    def test_add_and_mul(self, hoare):
+        assert hoare.holds("x > 2", "x += 3", "x > 5")
+        assert hoare.holds("x > 2", "x *= 2", "x > 5")
+        assert not hoare.holds("x > 2", "x *= 2", "x > 6")
+
+    def test_loop_triple(self, hoare):
+        assert hoare.holds("x < 1", "while (x < 3) do inc(x) end", "x = 3")
+        assert not hoare.holds("x < 1", "while (x < 3) do inc(x) end", "x > 3")
+
+    def test_nondeterministic_program(self, hoare):
+        assert hoare.holds("true", "inc(x) + x := 7", "x > 0")
+        assert not hoare.holds("true", "inc(x) + x := 0", "x > 0")
+
+    def test_vacuous_precondition(self, hoare):
+        assert hoare.holds("false", "inc(x)", "false")
+
+    def test_explain_counterexample(self, hoare):
+        assert hoare.explain("x > 1", "inc(x)", "x > 2") is None
+        counterexample = hoare.explain("x > 1", "inc(x)", "x > 3")
+        assert counterexample is not None
+        assert "cell" in counterexample.describe()
+
+
+class TestDerivedRules:
+    def test_skip_rule(self, hoare):
+        assert hoare.skip_rule(hoare.kmt.parse_pred("x > 1"))
+
+    def test_sequence_rule(self, hoare):
+        assert hoare.sequence_rule("x > 0", "inc(x)", "x > 1", "inc(x)", "x > 2")
+
+    def test_sequence_rule_bad_premise(self, hoare):
+        with pytest.raises(ValueError):
+            hoare.sequence_rule("x > 0", "inc(x)", "x > 5", "inc(x)", "x > 2")
+
+    def test_consequence_rule(self, hoare):
+        assert hoare.consequence_rule("x > 5", "x > 1", "inc(x)", "x > 2", "x > 0")
+
+    def test_consequence_rule_rejects_non_implication(self, hoare):
+        with pytest.raises(ValueError):
+            hoare.consequence_rule("x > 0", "x > 1", "inc(x)", "x > 2", "x > 0")
+
+    def test_while_rule(self, hoare):
+        # Invariant x <= 4 for the loop while (x < 4) inc(x).
+        assert hoare.while_rule("x <= 4", "x < 4", "inc(x)")
+
+    def test_while_rule_bad_invariant(self, hoare):
+        with pytest.raises(ValueError):
+            hoare.while_rule("x <= 2", "x < 4", "inc(x)")
+
+
+class TestOverBitVec:
+    def test_boolean_programs(self):
+        kmt = KMT(BitVecTheory(variables=("a", "b")))
+        hoare = HoareLogic(kmt)
+        assert hoare.holds("true", "a := T; b := F", "a = T; b = F")
+        assert hoare.holds("a = T", "flip a", "a = F")
+        assert not hoare.holds("true", "flip a", "a = T")
+        assert hoare.holds("true", "if (a = T) then b := T else b := F", "a = T; b = T + a = F; b = F")

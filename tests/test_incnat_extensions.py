@@ -1,0 +1,168 @@
+"""Tests for the Section 1.2 IncNat extensions: ``x += k`` and ``x *= k``.
+
+The paper notes the theory of increasing naturals stays sound and complete
+when extended with monotonically increasing, *invertible* operations such as
+adding or multiplying by a constant.  These tests check the weakest
+preconditions of the new actions against the executable semantics, exercise
+the parser syntax, and re-verify the Fig. 1(a) program written exactly as in
+the paper (``i += 1; j += 2``).
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import terms as T
+from repro.core.kmt import KMT
+from repro.core.semantics import Trace, eval_pred
+from repro.lang import parse_program
+from repro.theories.incnat import AddConst, Gt, IncNatTheory, MulConst
+from repro.utils.errors import TheoryError
+from repro.utils.frozendict import FrozenDict
+
+
+@pytest.fixture
+def theory():
+    return IncNatTheory(variables=("i", "j"))
+
+
+@pytest.fixture
+def kmt(theory):
+    return KMT(theory)
+
+
+class TestPrimitives:
+    def test_negative_add_rejected(self):
+        with pytest.raises(TheoryError):
+            AddConst("x", -1)
+
+    def test_zero_multiplier_rejected(self):
+        with pytest.raises(TheoryError):
+            MulConst("x", 0)
+
+    def test_str_forms(self):
+        assert str(AddConst("j", 2)) == "j += 2"
+        assert str(MulConst("j", 3)) == "j *= 3"
+
+    def test_ownership(self, theory):
+        assert theory.owns_action(AddConst("j", 2))
+        assert theory.owns_action(MulConst("j", 2))
+
+
+class TestSemantics:
+    def test_add_and_mul_act(self, theory):
+        state = FrozenDict(i=3, j=2)
+        assert theory.act(AddConst("j", 5), state)["j"] == 7
+        assert theory.act(MulConst("j", 4), state)["j"] == 8
+        assert theory.act(AddConst("k", 2), state)["k"] == 2  # unset var counts from 0
+
+    def test_monotone(self, theory):
+        """Both operations never decrease the variable (the soundness condition)."""
+        for value in range(6):
+            state = FrozenDict(j=value)
+            assert theory.act(AddConst("j", 3), state)["j"] >= value
+            assert theory.act(MulConst("j", 2), state)["j"] >= value
+
+
+class TestWeakestPreconditions:
+    def test_add_shifts_bound(self, theory):
+        assert theory.push_back(AddConst("j", 2), Gt("j", 5)) == [T.pprim(Gt("j", 3))]
+
+    def test_add_saturates_to_true(self, theory):
+        assert theory.push_back(AddConst("j", 7), Gt("j", 5)) == [T.pone()]
+        assert theory.push_back(AddConst("j", 6), Gt("j", 5)) == [T.pone()]
+
+    def test_add_exact_boundary(self, theory):
+        # j += 5 ; j > 5  ==  (j > 0) ; j += 5
+        assert theory.push_back(AddConst("j", 5), Gt("j", 5)) == [T.pprim(Gt("j", 0))]
+
+    def test_add_other_variable_commutes(self, theory):
+        assert theory.push_back(AddConst("i", 2), Gt("j", 5)) == [T.pprim(Gt("j", 5))]
+
+    def test_mul_divides_bound(self, theory):
+        assert theory.push_back(MulConst("j", 2), Gt("j", 5)) == [T.pprim(Gt("j", 2))]
+        assert theory.push_back(MulConst("j", 3), Gt("j", 5)) == [T.pprim(Gt("j", 1))]
+        assert theory.push_back(MulConst("j", 1), Gt("j", 5)) == [T.pprim(Gt("j", 5))]
+
+    def test_mul_other_variable_commutes(self, theory):
+        assert theory.push_back(MulConst("i", 2), Gt("j", 5)) == [T.pprim(Gt("j", 5))]
+
+    @given(
+        st.integers(0, 8),            # test bound
+        st.integers(0, 5),            # add amount / mul factor source
+        st.booleans(),                # add or mul
+        st.integers(0, 10),           # concrete value of j
+    )
+    def test_wp_sound_against_semantics(self, bound, amount, use_add, j_value):
+        """pi ; (j > n) holds after iff the pushed-back test holds before."""
+        theory = IncNatTheory()
+        if use_add:
+            action = AddConst("j", amount)
+        else:
+            action = MulConst("j", amount + 1)
+        alpha = Gt("j", bound)
+        pushed = T.por_all(theory.push_back(action, alpha))
+        state = FrozenDict(j=j_value)
+        before = Trace.initial(state)
+        after = before.append(theory.act(action, state), action)
+        assert theory.pred(alpha, after) == eval_pred(pushed, before, theory)
+
+    def test_wp_never_grows_in_the_ordering(self, theory):
+        """The pushed-back test stays within the subterm closure of the original."""
+        from repro.core.ordering import OrderingContext
+
+        ctx = OrderingContext(theory)
+        alpha = T.pprim(Gt("j", 6))
+        for action in (AddConst("j", 2), MulConst("j", 2), AddConst("j", 9)):
+            for pushed in theory.push_back(action, alpha.alpha):
+                assert ctx.pred_leq(pushed, alpha)
+
+
+class TestParsingAndEquivalence:
+    def test_parse_syntax(self, kmt):
+        term = kmt.parse("j += 2; j *= 3")
+        assert isinstance(term, T.TSeq)
+        assert term.left == T.tprim(AddConst("j", 2))
+        assert term.right == T.tprim(MulConst("j", 3))
+
+    def test_add_equivalent_to_repeated_inc(self, kmt):
+        """j += 2 is NOT equal to inc(j); inc(j) as traces, but reaches the same tests."""
+        assert not kmt.equivalent("j += 2", "inc(j); inc(j)")
+        assert kmt.equivalent("j += 2; j > 1", "j += 2; true; j > 1")
+
+    def test_add_then_test(self, kmt):
+        assert kmt.equivalent("j += 2; j > 5", "j > 3; j += 2")
+        assert kmt.equivalent("j += 2; j > 1", "j += 2")
+
+    def test_mul_then_test(self, kmt):
+        assert kmt.equivalent("j *= 2; j > 5", "j > 2; j *= 2")
+        assert kmt.equivalent("j := 3; j *= 2; j > 5", "j := 3; j *= 2")
+        assert kmt.is_empty("j := 3; j *= 2; j > 6")
+
+    def test_shift_and_add_composition(self, kmt):
+        """Fig. 1(b)'s j := (j << 1) + 3 becomes j *= 2; j += 3."""
+        assert kmt.equivalent("j *= 2; j += 3; j > 4", "j > 0; j *= 2; j += 3")
+        assert kmt.equivalent("j *= 2; j += 3; j > 2", "j *= 2; j += 3")
+
+    def test_loop_with_add(self, kmt):
+        """A += loop behaves like the paper's Pnat loop."""
+        assert kmt.equivalent("(j < 4; j += 2)*; j > 5", "(j < 4; j += 2)*; j > 5")
+        assert kmt.is_empty("j < 1; (j < 4; j += 2)*; ~(j < 4); j > 5")
+        assert not kmt.is_empty("j < 1; (j < 4; j += 2)*; ~(j < 4); j > 3")
+
+
+class TestFig1aFaithful:
+    def test_pnat_with_paper_syntax(self, theory, kmt):
+        """Fig. 1(a) written with += exactly as in the paper (small constants)."""
+        body = """
+        assume i < 2;
+        while (i < 4) {
+            i += 1;
+            j += 2;
+        }
+        """
+        program = parse_program(body + "assert j > 3;", theory).compile()
+        stripped = parse_program(body, theory).compile()
+        assert kmt.equivalent(program, stripped)
+        too_strong = parse_program(body + "assert j > 11;", theory).compile()
+        assert not kmt.equivalent(too_strong, stripped)

@@ -1,0 +1,181 @@
+"""End-to-end integration tests: whole programs, composed theories, Fig. 1/9 scenarios."""
+
+import pytest
+
+from repro.core import terms as T
+from repro.core.kmt import KMT
+from repro.lang import parse_program
+from repro.theories.bitvec import BitVecTheory
+from repro.theories.incnat import IncNatTheory
+from repro.theories.ltlf import LtlfTheory
+from repro.theories.maps import MapTheory, NatBoolMapAdapter
+from repro.theories.product import ProductTheory
+from repro.theories.sets import NatExpressionAdapter, SetTheory
+
+
+class TestFig9Microbenchmarks:
+    """Every decidable row of the paper's Fig. 9 as a correctness assertion."""
+
+    def test_row1_star_vs_predicate(self):
+        kmt = KMT(IncNatTheory())
+        # a* == 1 for any test a, so a* != a unless a is a tautology.
+        assert not kmt.equivalent("(x > 2; ~(x > 7))*", "x > 2; ~(x > 7)")
+        assert kmt.equivalent("(x > 2; ~(x > 7))*", "true")
+
+    def test_row2_star_absorbs_second_star(self):
+        kmt = KMT(IncNatTheory())
+        assert kmt.equivalent("inc(x)*; x > 10", "inc(x)*; inc(x)*; x > 10")
+
+    def test_row3_independent_counters_commute(self):
+        kmt = KMT(IncNatTheory())
+        assert kmt.equivalent(
+            "inc(x)*; x > 3; inc(y)*; y > 3", "inc(x)*; inc(y)*; x > 3; y > 3"
+        )
+
+    def test_row4_parity_loop(self):
+        kmt = KMT(BitVecTheory())
+        assert kmt.equivalent("x = F; (flip x; flip x)*", "(flip x; flip x)*; x = F")
+
+    def test_row5_boolean_disjunction_associativity(self):
+        kmt = KMT(BitVecTheory())
+        lhs = (
+            "w := F; x := T; y := F; z := F; "
+            "(if(w = T + x = T + y = T + z = T) then a := T else a := F)"
+        )
+        rhs = (
+            "w := F; x := T; y := F; z := F; "
+            "(if((w = T + x = T) + (y = T + z = T)) then a := T else a := F)"
+        )
+        assert kmt.equivalent(lhs, rhs)
+
+    def test_row6_population_count(self):
+        kmt = KMT(ProductTheory(IncNatTheory(), BitVecTheory()))
+        lhs = "y < 1; a = T; inc(y); (1 + b = T; inc(y)); (1 + c = T; inc(y)); y > 2"
+        rhs = "y < 1; a = T; b = T; c = T; inc(y); inc(y); inc(y)"
+        assert kmt.equivalent(lhs, rhs)
+
+    def test_row7_flip3_exceeds_budget(self):
+        from repro.utils.errors import NormalizationBudgetExceeded
+
+        kmt = KMT(BitVecTheory(), budget=100_000)
+        with pytest.raises(NormalizationBudgetExceeded):
+            kmt.equivalent("(flip x + flip y + flip z)*", "(flip x + flip y + flip z)*")
+
+
+class TestPnatEndToEnd:
+    """Fig. 1(a), scaled to small constants so the run stays quick."""
+
+    def setup_method(self):
+        self.theory = IncNatTheory(variables=("i", "j"))
+        self.kmt = KMT(self.theory)
+        self.program = parse_program(
+            """
+            assume i < 2;
+            while (i < 4) {
+                inc(i);
+                inc(j); inc(j);
+            }
+            assert j > 3;
+            """,
+            self.theory,
+        ).compile()
+
+    def test_program_is_satisfiable(self):
+        assert not self.kmt.is_empty(self.program)
+
+    def test_assert_is_redundant(self):
+        without = parse_program(
+            """
+            assume i < 2;
+            while (i < 4) {
+                inc(i);
+                inc(j); inc(j);
+            }
+            """,
+            self.theory,
+        ).compile()
+        assert self.kmt.equivalent(self.program, without)
+
+    def test_semantics_matches_decision(self):
+        """Running the compiled program agrees with the equivalence verdicts."""
+        from repro.utils.frozendict import FrozenDict
+
+        traces = self.kmt.run(self.program, state=FrozenDict(i=0, j=0), star_bound=8)
+        final_states = {t.last_state for t in traces}
+        assert final_states == {FrozenDict(i=4, j=8)}
+
+
+class TestPsetEndToEnd:
+    """Fig. 1(b) adapted to the shipped Set theory (Section 2.3)."""
+
+    def setup_method(self):
+        nat = IncNatTheory(variables=("i",))
+        adapter = NatExpressionAdapter(nat, variables=("i",))
+        self.theory = SetTheory(nat, adapter, set_variables=("X",))
+        self.kmt = KMT(self.theory)
+
+    def test_loop_inserts_counter_values(self):
+        program = "i < 1; (i < 4; add(X, i); inc(i))*; ~(i < 4)"
+        for member in range(4):
+            assert self.kmt.equivalent(f"{program}; in(X, {member})", program)
+        assert not self.kmt.equivalent(f"{program}; in(X, 7)", program)
+
+    def test_paper_claim_about_unbounded_membership(self):
+        assert not self.kmt.is_empty("(inc(i); add(X, i))*; i > 3; in(X, 3)")
+
+
+class TestPmapEndToEnd:
+    """Fig. 1(c): the parity map, with bounded loop constants."""
+
+    def setup_method(self):
+        nat = IncNatTheory(variables=("i",))
+        bools = BitVecTheory(variables=("parity",))
+        inner = ProductTheory(nat, bools)
+        adapter = NatBoolMapAdapter(
+            nat, bools, key_variables=("i",), value_variables=("parity",)
+        )
+        self.theory = MapTheory(inner, adapter, map_variables=("odd",))
+        self.kmt = KMT(self.theory)
+        self.program = (
+            "i := 0; parity := F; "
+            "(i < 4; odd[i] := parity; inc(i); flip parity)*; ~(i < 4)"
+        )
+
+    def test_odd_indices_map_to_true(self):
+        assert self.kmt.equivalent(f"{self.program}; odd[1] = T", self.program)
+        assert self.kmt.equivalent(f"{self.program}; odd[3] = T", self.program)
+
+    def test_even_indices_map_to_false(self):
+        assert self.kmt.equivalent(f"{self.program}; odd[0] = F", self.program)
+        assert self.kmt.equivalent(f"{self.program}; odd[2] = F", self.program)
+
+    def test_wrong_parity_is_empty(self):
+        assert self.kmt.is_empty(f"{self.program}; odd[2] = T")
+
+
+class TestCompositionality:
+    """Higher-order theories stack: LTLf over a product, sets over naturals."""
+
+    def test_ltlf_over_product(self):
+        base = ProductTheory(IncNatTheory(variables=("n",)), BitVecTheory(variables=("flag",)))
+        theory = LtlfTheory(base)
+        kmt = KMT(theory)
+        program = kmt.parse("flag := T; inc(n); flag := F")
+        was_set = T.ttest(theory.ever(base.right.eq("flag", True)))
+        assert kmt.equivalent(program, T.tseq(program, was_set))
+
+    def test_temporal_population_count(self):
+        base = ProductTheory(IncNatTheory(variables=("n",)), BitVecTheory(variables=("a",)))
+        theory = LtlfTheory(base)
+        kmt = KMT(theory)
+        lhs = kmt.parse("n < 1; a = T; inc(n); n > 0")
+        rhs = kmt.parse("n < 1; a = T; inc(n)")
+        assert kmt.equivalent(lhs, rhs)
+
+    def test_three_way_product(self):
+        theory = ProductTheory(
+            IncNatTheory(variables=("x",)),
+            ProductTheory(BitVecTheory(variables=("a",)), IncNatTheory(variables=("z",))),
+        )
+        kmt = KMT(theory)
+        assert kmt.equivalent("inc(x); a = T; inc(z)", "a = T; inc(x); inc(z)")

@@ -1,0 +1,83 @@
+"""Tests for negation normal form (paper Fig. 7)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import terms as T
+from repro.core.nnf import is_nnf, nnf, nnf_neg
+from repro.smt.literals import atoms_of, evaluate
+from repro.theories.bitvec import BoolEq
+from tests.conftest import bitvec_preds
+
+
+class TestNnfExamples:
+    def test_constants(self):
+        assert nnf(T.pzero()) is T.pzero()
+        assert nnf(T.pone()) is T.pone()
+        assert nnf_neg(T.pzero()) is T.pone()
+        assert nnf_neg(T.pone()) is T.pzero()
+
+    def test_de_morgan_and(self):
+        a = T.pprim(BoolEq("a"))
+        b = T.pprim(BoolEq("b"))
+        result = nnf(T.pnot(T.pand(a, b)))
+        assert result == T.por(T.pnot(a), T.pnot(b))
+
+    def test_de_morgan_or(self):
+        a = T.pprim(BoolEq("a"))
+        b = T.pprim(BoolEq("b"))
+        result = nnf(T.pnot(T.por(a, b)))
+        assert result == T.pand(T.pnot(a), T.pnot(b))
+
+    def test_double_negation_eliminated(self):
+        a = T.pprim(BoolEq("a"))
+        # Build ~~a without the smart constructor collapsing it.
+        with T.smart_constructors_disabled():
+            double = T.pnot(T.pnot(a))
+        assert nnf(double) is a
+
+    def test_primitive_negation_kept(self):
+        a = T.pprim(BoolEq("a"))
+        assert nnf(T.pnot(a)) == T.pnot(a)
+
+
+class TestNnfProperties:
+    @given(bitvec_preds(max_leaves=6))
+    def test_nnf_is_in_nnf(self, pred):
+        assert is_nnf(nnf(pred))
+
+    @given(bitvec_preds(max_leaves=6))
+    def test_nnf_idempotent(self, pred):
+        once = nnf(pred)
+        assert nnf(once) == once
+
+    @given(bitvec_preds(max_leaves=6), st.data())
+    def test_nnf_preserves_truth(self, pred, data):
+        """nnf(p) and p agree under every assignment of the primitive tests."""
+        atoms = atoms_of(pred)
+        assignment = {
+            alpha: data.draw(st.booleans(), label=str(alpha)) for alpha in atoms
+        }
+        assert evaluate(nnf(pred), assignment) == evaluate(pred, assignment)
+
+    @given(bitvec_preds(max_leaves=6), st.data())
+    def test_nnf_neg_is_negation(self, pred, data):
+        atoms = atoms_of(pred)
+        assignment = {
+            alpha: data.draw(st.booleans(), label=str(alpha)) for alpha in atoms
+        }
+        assert evaluate(nnf_neg(pred), assignment) == (not evaluate(pred, assignment))
+
+
+class TestIsNnf:
+    def test_negated_compound_is_not_nnf(self):
+        a = T.pprim(BoolEq("a"))
+        b = T.pprim(BoolEq("b"))
+        with T.smart_constructors_disabled():
+            pred = T.pnot(T.pand(a, b))
+        assert not is_nnf(pred)
+
+    def test_plain_conjunction_is_nnf(self):
+        a = T.pprim(BoolEq("a"))
+        b = T.pprim(BoolEq("b"))
+        assert is_nnf(T.pand(T.pnot(a), b))

@@ -1,0 +1,162 @@
+"""Tests for the maximal-subterm ordering machinery (paper Fig. 6)."""
+
+from hypothesis import given
+
+from repro.core import terms as T
+from repro.core.ordering import OrderingContext
+from repro.theories.bitvec import BitVecTheory, BoolEq
+from repro.theories.incnat import Gt, IncNatTheory
+from tests.conftest import bitvec_preds, incnat_preds
+
+
+class TestSeqs:
+    def test_seqs_of_conjunction_splits_factors(self, incnat):
+        ctx = OrderingContext(incnat)
+        a = T.pprim(Gt("x", 1))
+        b = T.pprim(Gt("y", 2))
+        c = T.pprim(Gt("x", 3))
+        pred = T.pand(T.pand(a, b), c)
+        assert ctx.seqs(pred) == {a, b, c}
+
+    def test_seqs_of_non_conjunction_is_singleton(self, incnat):
+        ctx = OrderingContext(incnat)
+        a = T.pprim(Gt("x", 1))
+        b = T.pprim(Gt("y", 2))
+        pred = T.por(a, b)
+        assert ctx.seqs(pred) == {pred}
+
+    def test_seqs_of_set_unions(self, incnat):
+        ctx = OrderingContext(incnat)
+        a = T.pprim(Gt("x", 1))
+        b = T.pprim(Gt("y", 2))
+        assert ctx.seqs_of_set({T.pand(a, b), a}) == {a, b}
+
+
+class TestSub:
+    def test_sub_of_constants(self, incnat):
+        ctx = OrderingContext(incnat)
+        assert ctx.sub(T.pzero()) == {T.pzero()}
+        assert ctx.sub(T.pone()) == {T.pzero(), T.pone()}
+
+    def test_sub_of_incnat_primitive_includes_smaller_bounds(self, incnat):
+        ctx = OrderingContext(incnat)
+        closure = ctx.sub(T.pprim(Gt("x", 3)))
+        for bound in range(4):
+            assert T.pprim(Gt("x", bound)) in closure
+        assert T.pzero() in closure and T.pone() in closure
+
+    def test_sub_of_negation_contains_negated_subterms(self, incnat):
+        ctx = OrderingContext(incnat)
+        pred = T.pnot(T.pprim(Gt("x", 1)))
+        closure = ctx.sub(pred)
+        assert T.pprim(Gt("x", 0)) in closure
+        assert T.pnot(T.pprim(Gt("x", 0))) in closure
+
+    def test_terms_are_subterms_of_themselves(self, incnat):
+        ctx = OrderingContext(incnat)
+        pred = T.por(T.pprim(Gt("x", 1)), T.pprim(Gt("y", 0)))
+        assert pred in ctx.sub(pred)
+
+    @given(incnat_preds(max_leaves=4))
+    def test_zero_always_a_subterm(self, pred):
+        ctx = OrderingContext(IncNatTheory())
+        assert T.pzero() in ctx.sub(pred)
+
+    @given(incnat_preds(max_leaves=4))
+    def test_sub_closed_under_sub(self, pred):
+        """Lemma B.9: if a in sub(b) then sub(a) subset of sub(b)."""
+        ctx = OrderingContext(IncNatTheory())
+        closure = ctx.sub(pred)
+        for sub_pred in closure:
+            assert ctx.sub(sub_pred) <= closure
+
+
+class TestMaximalTests:
+    def test_mt_of_singleton(self, incnat):
+        ctx = OrderingContext(incnat)
+        a = T.pprim(Gt("x", 1))
+        assert ctx.mt({a}) == {a}
+
+    def test_mt_drops_dominated_tests(self, incnat):
+        """x > 0 is a subterm of x > 3, so only x > 3 is maximal."""
+        ctx = OrderingContext(incnat)
+        small = T.pprim(Gt("x", 0))
+        large = T.pprim(Gt("x", 3))
+        assert ctx.mt({small, large}) == {large}
+
+    def test_mt_keeps_incomparable_tests(self, incnat):
+        ctx = OrderingContext(incnat)
+        a = T.pprim(Gt("x", 3))
+        b = T.pprim(Gt("y", 2))
+        assert ctx.mt({a, b}) == {a, b}
+
+    def test_mt_nonempty_for_nonempty_sets(self, bitvec):
+        """Lemma B.11: maximal tests always exist."""
+        ctx = OrderingContext(bitvec)
+        a = T.pprim(BoolEq("a"))
+        b = T.pprim(BoolEq("b"))
+        assert ctx.mt({T.pand(a, b), a, T.pone()})
+
+    @given(incnat_preds(max_leaves=4))
+    def test_mt_subset_of_seqs(self, pred):
+        """Lemma B.3: maximal tests are tests."""
+        ctx = OrderingContext(IncNatTheory())
+        assert ctx.mt({pred}) <= ctx.seqs(pred)
+
+    def test_pick_maximal_deterministic(self, incnat):
+        ctx = OrderingContext(incnat)
+        preds = {T.pprim(Gt("x", 3)), T.pprim(Gt("y", 2))}
+        assert ctx.pick_maximal(preds) == ctx.pick_maximal(preds)
+        assert ctx.pick_maximal(preds) in preds
+
+    def test_pick_maximal_of_empty_is_none(self, incnat):
+        ctx = OrderingContext(incnat)
+        assert ctx.pick_maximal(set()) is None
+
+
+class TestOrderingRelation:
+    def test_extension(self, incnat):
+        """Lemma B.19(1): a <= a;b."""
+        ctx = OrderingContext(incnat)
+        a = T.pprim(Gt("x", 1))
+        b = T.pprim(Gt("y", 2))
+        assert ctx.leq({a}, {T.pand(a, b)})
+
+    def test_smaller_bound_strictly_below(self, incnat):
+        ctx = OrderingContext(incnat)
+        assert ctx.pred_lt(T.pprim(Gt("x", 1)), T.pprim(Gt("x", 3)))
+        assert not ctx.pred_lt(T.pprim(Gt("x", 3)), T.pprim(Gt("x", 1)))
+
+    def test_leq_reflexive(self, incnat):
+        ctx = OrderingContext(incnat)
+        a = T.pprim(Gt("x", 2))
+        assert ctx.pred_leq(a, a)
+        assert not ctx.pred_lt(a, a)
+
+    @given(incnat_preds(max_leaves=3), incnat_preds(max_leaves=3))
+    def test_leq_union_upper_bound(self, a, b):
+        """Both operands are below their union's key (monotonicity, Lemma B.14)."""
+        ctx = OrderingContext(IncNatTheory())
+        assert ctx.leq({a}, {a, b})
+        assert ctx.leq({b}, {a, b})
+
+    def test_nnf_monotonic_on_primitives_and_disjunctions(self):
+        """Lemma B.18 (checked on the shapes PrimNeg actually produces):
+        negating a primitive or a disjunction of primitives stays below the
+        negated original in the ordering."""
+        from repro.core.nnf import nnf
+
+        ctx = OrderingContext(BitVecTheory())
+        a = T.pprim(BoolEq("a"))
+        b = T.pprim(BoolEq("b"))
+        assert ctx.leq({nnf(T.pnot(a))}, {T.pnot(a)})
+        disj = T.por(a, b)
+        assert ctx.leq({nnf(T.pnot(disj))}, {T.pnot(disj)})
+
+    def test_key_uses_lemma_b12(self, incnat):
+        """key(A) equals the union of sub over the factors of A."""
+        ctx = OrderingContext(incnat)
+        a = T.pprim(Gt("x", 2))
+        b = T.pprim(Gt("y", 1))
+        pred = T.pand(a, b)
+        assert ctx.key({pred}) == ctx.sub(a) | ctx.sub(b)

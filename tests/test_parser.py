@@ -1,0 +1,176 @@
+"""Tests for the extensible concrete-syntax parser (paper Section 4)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import terms as T
+from repro.core.parser import Parser, match_phrase, parse_pred, parse_term, phrase_text, tokenize
+from repro.core.pretty import pretty_pred, pretty_term
+from repro.theories.bitvec import BitVecTheory, BoolAssign, BoolEq
+from repro.theories.incnat import AssignNat, Gt, IncNatTheory, Incr
+from repro.utils.errors import ParseError
+from tests.conftest import bitvec_terms, incnat_terms
+
+
+@pytest.fixture
+def nat():
+    return IncNatTheory()
+
+
+@pytest.fixture
+def bools():
+    return BitVecTheory()
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("inc(x); x > 3 + ~(y := 2)*")
+        kinds = [t.kind for t in tokens]
+        assert kinds[-1] == "end"
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["inc", "(", "x", ")", ";", "x", ">", "3", "+", "~", "(", "y", ":=", "2", ")", "*"]
+
+    def test_multi_char_symbols(self):
+        values = [t.value for t in tokenize("a := b <- c <= d >= e != f") if t.kind == "sym"]
+        assert values == [":=", "<-", "<=", ">=", "!="]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("x § y")
+
+    def test_position_reported(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].pos == 0
+        assert tokens[1].pos == 3
+
+
+class TestMatchPhrase:
+    def test_captures_placeholders(self):
+        tokens = tokenize("x > 3")[:-1]
+        assert match_phrase(tokens, "WORD", ">", "NUM") == ["x", 3]
+
+    def test_length_mismatch(self):
+        tokens = tokenize("x > 3")[:-1]
+        assert match_phrase(tokens, "WORD", ">") is None
+
+    def test_literal_mismatch(self):
+        tokens = tokenize("x < 3")[:-1]
+        assert match_phrase(tokens, "WORD", ">", "NUM") is None
+
+    def test_phrase_text(self):
+        assert phrase_text(tokenize("inc ( x )")[:-1]) == "inc ( x )"
+
+
+class TestGrammar:
+    def test_constants(self, nat):
+        assert parse_term("true", nat) is T.tone()
+        assert parse_term("skip", nat) is T.tone()
+        assert parse_term("1", nat) is T.tone()
+        assert parse_term("false", nat) is T.tzero()
+        assert parse_term("drop", nat) is T.tzero()
+        assert parse_term("0", nat) is T.tzero()
+
+    def test_precedence_star_seq_plus(self, nat):
+        term = parse_term("inc(x) + inc(y); inc(x)*", nat)
+        assert isinstance(term, T.TPlus)
+        assert isinstance(term.right, T.TSeq)
+        assert isinstance(term.right.right, T.TStar)
+
+    def test_parentheses_override(self, nat):
+        term = parse_term("(inc(x) + inc(y)); inc(x)", nat)
+        assert isinstance(term, T.TSeq)
+        assert isinstance(term.left, T.TPlus)
+
+    def test_negation_forms(self, nat):
+        for text in ("~(x > 3)", "!(x > 3)", "not (x > 3)", "~x > 3"):
+            pred = parse_pred(text, nat)
+            assert pred == T.pnot(T.pprim(Gt("x", 3)))
+
+    def test_negation_of_action_rejected(self, nat):
+        with pytest.raises(ParseError):
+            parse_term("~inc(x)", nat)
+
+    def test_if_then_else_desugaring(self, bools):
+        term = parse_term("if (a = T) then b := T else b := F", bools)
+        expected = T.tplus(
+            T.tseq(T.ttest(T.pprim(BoolEq("a"))), T.tprim(BoolAssign("b", True))),
+            T.tseq(T.pnot(T.pprim(BoolEq("a"))).as_term(), T.tprim(BoolAssign("b", False))),
+        )
+        assert term == expected
+
+    def test_while_do_desugaring(self, nat):
+        term = parse_term("while (x < 2) do inc(x) end", nat)
+        guard = T.pnot(T.pprim(Gt("x", 1)))
+        expected = T.tseq(
+            T.tstar(T.tseq(T.ttest(guard), T.tprim(Incr("x")))), T.ttest(T.pnot(guard))
+        )
+        assert term == expected
+
+    def test_while_without_end_keyword(self, nat):
+        assert parse_term("while (x < 2) do inc(x)", nat) == parse_term(
+            "while (x < 2) do inc(x) end", nat
+        )
+
+    def test_if_condition_must_be_test(self, nat):
+        with pytest.raises(ParseError):
+            parse_term("if (inc(x)) then inc(x) else inc(y)", nat)
+
+    def test_trailing_garbage_rejected(self, nat):
+        with pytest.raises(ParseError):
+            parse_term("inc(x) )", nat)
+
+    def test_empty_input_rejected(self, nat):
+        with pytest.raises(ParseError):
+            parse_term("", nat)
+        with pytest.raises(ParseError):
+            parse_term("( )", nat)
+
+    def test_parse_pred_rejects_actions(self, nat):
+        with pytest.raises(ParseError):
+            parse_pred("inc(x)", nat)
+
+    def test_merged_adjacent_tests_still_a_pred(self, nat):
+        pred = parse_pred("x > 1; x > 2", nat)
+        assert pred == T.pand(T.pprim(Gt("x", 1)), T.pprim(Gt("x", 2)))
+
+    def test_numbers_inside_phrases_not_confused_with_constants(self, nat):
+        term = parse_term("x := 1; x > 0", nat)
+        assert isinstance(term, T.TSeq)
+        assert term.left == T.tprim(AssignNat("x", 1))
+
+    def test_theory_error_message_mentions_phrase(self, nat):
+        with pytest.raises(ParseError) as excinfo:
+            parse_term("launch missiles", nat)
+        assert "launch" in str(excinfo.value)
+
+
+class TestParserObject:
+    def test_parser_reusable_entrypoints(self, nat):
+        parser = Parser(nat, "x > 1")
+        assert parser.parse_pred() == T.pprim(Gt("x", 1))
+
+    def test_expect_errors(self, nat):
+        parser = Parser(nat, "inc(x")
+        with pytest.raises(ParseError):
+            parser.parse_term()
+
+
+class TestRoundTrip:
+    """pretty-printing then re-parsing yields the same term."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(bitvec_terms(max_leaves=5))
+    def test_bitvec_roundtrip(self, term):
+        theory = BitVecTheory()
+        assert parse_term(pretty_term(term), theory) == term
+
+    @settings(max_examples=50, deadline=None)
+    @given(incnat_terms(max_leaves=5))
+    def test_incnat_roundtrip(self, term):
+        theory = IncNatTheory()
+        assert parse_term(pretty_term(term), theory) == term
+
+    def test_pred_roundtrip_examples(self, nat):
+        for text in ("x > 3", "~(x > 3)", "x > 1; x > 2", "x > 1 + x > 2"):
+            pred = parse_pred(text, nat)
+            assert parse_pred(pretty_pred(pred), nat) == pred

@@ -1,0 +1,73 @@
+"""Tests for the pretty printer."""
+
+import pytest
+
+from repro.core import terms as T
+from repro.core.normalform import NormalForm
+from repro.core.pretty import pretty_normal_form, pretty_pred, pretty_term
+from repro.theories.incnat import Gt, Incr
+
+
+def gt(var, bound):
+    return T.pprim(Gt(var, bound))
+
+
+def inc(var):
+    return T.tprim(Incr(var))
+
+
+class TestPredPrinting:
+    def test_constants(self):
+        assert pretty_pred(T.pzero()) == "false"
+        assert pretty_pred(T.pone()) == "true"
+
+    def test_primitive(self):
+        assert pretty_pred(gt("x", 3)) == "x > 3"
+
+    def test_negation_of_primitive(self):
+        assert pretty_pred(T.pnot(gt("x", 3))) == "not x > 3"
+
+    def test_negation_of_compound_parenthesized(self):
+        pred = T.pnot(T.pand(gt("x", 1), gt("y", 2)))
+        assert pretty_pred(pred) == "not (x > 1; y > 2)"
+
+    def test_and_inside_or_parenthesization(self):
+        pred = T.pand(T.por(gt("x", 1), gt("y", 2)), gt("x", 0))
+        assert pretty_pred(pred) == "(x > 1 + y > 2); x > 0"
+
+
+class TestTermPrinting:
+    def test_primitive_action(self):
+        assert pretty_term(inc("x")) == "inc(x)"
+
+    def test_seq_and_plus(self):
+        term = T.tplus(T.tseq(inc("x"), inc("y")), inc("x"))
+        assert pretty_term(term) == "inc(x); inc(y) + inc(x)"
+
+    def test_star_of_primitive(self):
+        assert pretty_term(T.tstar(inc("x"))) == "inc(x)*"
+
+    def test_star_of_compound(self):
+        term = T.tstar(T.tseq(inc("x"), inc("y")))
+        assert pretty_term(term) == "(inc(x); inc(y))*"
+
+    def test_embedded_test(self):
+        term = T.tseq(T.ttest(gt("x", 1)), inc("x"))
+        assert pretty_term(term) == "x > 1; inc(x)"
+
+
+class TestNormalFormPrinting:
+    def test_vacuous(self):
+        assert pretty_normal_form(NormalForm.zero()) == "false"
+
+    def test_sum_of_summands(self):
+        nf = NormalForm({(gt("x", 1), inc("x")), (T.pone(), T.tone())})
+        rendered = pretty_normal_form(nf)
+        assert "x > 1; inc(x)" in rendered
+        assert " + " in rendered
+
+    def test_errors_on_non_terms(self):
+        with pytest.raises(TypeError):
+            pretty_term("not a term")
+        with pytest.raises(TypeError):
+            pretty_pred(42)

@@ -1,0 +1,60 @@
+"""Tests for the regular interpretation of restricted actions (paper Fig. 10)."""
+
+import pytest
+
+from repro.core import terms as T
+from repro.core.regexes import accepts_word, is_empty_language, language_up_to
+from repro.theories.bitvec import BoolAssign
+from repro.utils.errors import KmtError
+
+A = T.tprim(BoolAssign("a", True))
+B = T.tprim(BoolAssign("b", True))
+PI_A = BoolAssign("a", True)
+PI_B = BoolAssign("b", True)
+
+
+class TestLanguageUpTo:
+    def test_one_is_epsilon(self):
+        assert language_up_to(T.tone(), 3) == {()}
+
+    def test_zero_is_empty(self):
+        assert language_up_to(T.tzero(), 3) == frozenset()
+
+    def test_primitive(self):
+        assert language_up_to(A, 3) == {(PI_A,)}
+        assert language_up_to(A, 0) == frozenset()
+
+    def test_plus_unions(self):
+        assert language_up_to(T.tplus(A, B), 2) == {(PI_A,), (PI_B,)}
+
+    def test_seq_concatenates(self):
+        assert language_up_to(T.tseq(A, B), 2) == {(PI_A, PI_B)}
+        assert language_up_to(T.tseq(A, B), 1) == frozenset()
+
+    def test_star_enumerates_up_to_bound(self):
+        words = language_up_to(T.tstar(A), 3)
+        assert words == {(), (PI_A,), (PI_A, PI_A), (PI_A, PI_A, PI_A)}
+
+    def test_nested_star_and_plus(self):
+        words = language_up_to(T.tstar(T.tplus(A, B)), 2)
+        assert ((PI_A, PI_B)) in words
+        assert ((PI_B, PI_B)) in words
+        assert len(words) == 1 + 2 + 4
+
+    def test_rejects_non_restricted(self):
+        from repro.theories.bitvec import BoolEq
+
+        with pytest.raises(KmtError):
+            language_up_to(T.ttest(T.pprim(BoolEq("a"))), 2)
+
+
+class TestHelpers:
+    def test_accepts_word_agrees_with_enumeration(self):
+        term = T.tseq(T.tstar(A), B)
+        for word in language_up_to(term, 3):
+            assert accepts_word(term, word)
+        assert not accepts_word(term, (PI_B, PI_B))
+
+    def test_is_empty_language(self):
+        assert is_empty_language(T.tzero())
+        assert not is_empty_language(T.tstar(A))

@@ -1,0 +1,194 @@
+"""Tests for the tracing semantics (paper Fig. 5, Section 3.1)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import terms as T
+from repro.core.semantics import (
+    LogEntry,
+    Trace,
+    accepts,
+    equivalent_up_to_length,
+    eval_pred,
+    eval_term,
+    output_states,
+    run,
+    semantically_equivalent_on,
+    trace_labels,
+)
+from repro.theories.bitvec import BitVecTheory, BoolAssign, BoolEq
+from repro.theories.incnat import AssignNat, Gt, IncNatTheory, Incr
+from repro.utils.errors import KmtError
+from repro.utils.frozendict import FrozenDict
+from tests.conftest import all_bitvec_states, bitvec_terms
+
+
+@pytest.fixture
+def nat():
+    return IncNatTheory(variables=("x", "y"))
+
+
+@pytest.fixture
+def bools():
+    return BitVecTheory(variables=("a", "b"))
+
+
+class TestTrace:
+    def test_trace_must_be_nonempty(self):
+        with pytest.raises(KmtError):
+            Trace(())
+
+    def test_initial_and_append(self):
+        t = Trace.initial(FrozenDict(x=0))
+        assert len(t) == 1
+        assert t.last_state == FrozenDict(x=0)
+        t2 = t.append(FrozenDict(x=1), Incr("x"))
+        assert len(t2) == 2
+        assert t2.last_state == FrozenDict(x=1)
+        assert t2.first_state == FrozenDict(x=0)
+        # append is persistent
+        assert len(t) == 1
+
+    def test_label_collects_actions(self):
+        t = Trace.initial(FrozenDict(x=0)).append(FrozenDict(x=1), Incr("x")).append(
+            FrozenDict(x=2), Incr("x")
+        )
+        assert t.label() == (Incr("x"), Incr("x"))
+
+    def test_prefix(self):
+        t = Trace.initial(FrozenDict(x=0)).append(FrozenDict(x=1), Incr("x"))
+        assert t.prefix() == Trace.initial(FrozenDict(x=0))
+        assert Trace.initial(FrozenDict(x=0)).prefix() is None
+
+    def test_map_states(self):
+        t = Trace.initial((1, "keep")).append((2, "keep"), "step")
+        projected = t.map_states(lambda s: s[0])
+        assert projected.states() == (1, 2)
+        assert projected.label() == ("step",)
+
+    def test_equality_and_hash(self):
+        t1 = Trace.initial(FrozenDict(x=0))
+        t2 = Trace.initial(FrozenDict(x=0))
+        assert t1 == t2 and hash(t1) == hash(t2)
+        assert len({t1, t2}) == 1
+
+    def test_log_entry_repr(self):
+        assert "_" in repr(LogEntry(FrozenDict(), None))
+
+
+class TestPredEvaluation:
+    def test_constants(self, nat):
+        t = Trace.initial(FrozenDict(x=0))
+        assert eval_pred(T.pone(), t, nat)
+        assert not eval_pred(T.pzero(), t, nat)
+
+    def test_primitive_and_connectives(self, nat):
+        t = Trace.initial(FrozenDict(x=5, y=0))
+        gt3 = T.pprim(Gt("x", 3))
+        gty = T.pprim(Gt("y", 0))
+        assert eval_pred(gt3, t, nat)
+        assert not eval_pred(gty, t, nat)
+        assert eval_pred(T.pand(gt3, T.pnot(gty)), t, nat)
+        assert eval_pred(T.por(gty, gt3), t, nat)
+
+
+class TestTermEvaluation:
+    def test_test_filters(self, nat):
+        t = Trace.initial(FrozenDict(x=5, y=0))
+        assert eval_term(T.ttest(T.pprim(Gt("x", 3))), t, nat) == {t}
+        assert eval_term(T.ttest(T.pprim(Gt("x", 7))), t, nat) == set()
+
+    def test_action_extends_trace(self, nat):
+        t = Trace.initial(FrozenDict(x=0, y=0))
+        (result,) = eval_term(T.tprim(Incr("x")), t, nat)
+        assert result.last_state == FrozenDict(x=1, y=0)
+        assert result.label() == (Incr("x"),)
+
+    def test_seq_and_plus(self, nat):
+        t = Trace.initial(FrozenDict(x=0, y=0))
+        term = T.tplus(T.tprim(Incr("x")), T.tprim(Incr("y")))
+        results = eval_term(term, t, nat)
+        assert {r.last_state for r in results} == {FrozenDict(x=1, y=0), FrozenDict(x=0, y=1)}
+        seq = T.tseq(T.tprim(Incr("x")), T.tprim(Incr("x")))
+        (result,) = eval_term(seq, t, nat)
+        assert result.last_state == FrozenDict(x=2, y=0)
+
+    def test_star_unrolls_until_fixpoint_or_bound(self, nat):
+        t = Trace.initial(FrozenDict(x=0, y=0))
+        term = T.tstar(T.tseq(T.ttest(T.pnot(T.pprim(Gt("x", 1)))), T.tprim(Incr("x"))))
+        results = eval_term(term, t, nat, star_bound=10)
+        # x can be incremented while x <= 1, i.e. 0, 1 or 2 increments.
+        assert {r.last_state["x"] for r in results} == {0, 1, 2}
+
+    def test_star_bound_truncates(self, nat):
+        t = Trace.initial(FrozenDict(x=0, y=0))
+        term = T.tstar(T.tprim(Incr("x")))
+        results = eval_term(term, t, nat, star_bound=3)
+        assert {r.last_state["x"] for r in results} == {0, 1, 2, 3}
+
+    def test_trace_records_every_action_not_just_final_state(self, bools):
+        """The tracing semantics distinguishes a:=T;a:=T from a:=T (Section 2.1)."""
+        state = FrozenDict(a=False, b=False)
+        once = T.tprim(BoolAssign("a", True))
+        twice = T.tseq(once, once)
+        assert output_states(once, state, bools) == output_states(twice, state, bools)
+        assert trace_labels(once, state, bools) != trace_labels(twice, state, bools)
+
+    def test_run_and_accepts(self, nat):
+        state = FrozenDict(x=0, y=0)
+        program = T.tseq(T.tprim(Incr("x")), T.ttest(T.pprim(Gt("x", 0))))
+        assert accepts(program, state, nat)
+        rejecting = T.tseq(T.tprim(Incr("x")), T.ttest(T.pprim(Gt("x", 5))))
+        assert not accepts(rejecting, state, nat)
+        assert run(T.tzero(), state, nat) == set()
+
+
+class TestKatLawsSemantically:
+    """Spot-check the Fig. 5 axioms in the executable semantics."""
+
+    def setup_method(self):
+        self.theory = BitVecTheory(variables=("a", "b", "c"))
+        self.states = all_bitvec_states()
+
+    def _equiv(self, p, q, star_bound=6):
+        return semantically_equivalent_on(p, q, self.states, self.theory, star_bound)
+
+    def test_plus_comm_assoc_idem(self):
+        p = T.tprim(BoolAssign("a", True))
+        q = T.tprim(BoolAssign("b", False))
+        r = T.ttest(T.pprim(BoolEq("c")))
+        assert self._equiv(T.tplus(p, q), T.tplus(q, p))
+        assert self._equiv(T.tplus(p, T.tplus(q, r)), T.tplus(T.tplus(p, q), r))
+        assert self._equiv(T.tplus(p, p), p)
+
+    def test_seq_distributes(self):
+        p = T.tprim(BoolAssign("a", True))
+        q = T.tprim(BoolAssign("b", False))
+        r = T.tprim(BoolAssign("c", True))
+        assert self._equiv(T.tseq(p, T.tplus(q, r)), T.tplus(T.tseq(p, q), T.tseq(p, r)))
+        assert self._equiv(T.tseq(T.tplus(p, q), r), T.tplus(T.tseq(p, r), T.tseq(q, r)))
+
+    def test_star_unroll(self):
+        p = T.tseq(T.ttest(T.pnot(T.pprim(BoolEq("a")))), T.tprim(BoolAssign("a", True)))
+        star = T.tstar(p)
+        unrolled = T.tplus(T.tone(), T.tseq(p, star))
+        assert equivalent_up_to_length(star, unrolled, self.states, self.theory, max_actions=4)
+
+    def test_boolean_embedding(self):
+        a = T.pprim(BoolEq("a"))
+        assert self._equiv(T.ttest(T.pand(a, T.pnot(a))), T.tzero())
+        assert self._equiv(T.ttest(T.por(a, T.pnot(a))), T.tone())
+
+
+class TestSemanticEquivalenceHelper:
+    @settings(max_examples=25, deadline=None)
+    @given(bitvec_terms(max_leaves=3))
+    def test_every_term_is_self_equivalent(self, term):
+        theory = BitVecTheory(variables=("a", "b", "c"))
+        assert semantically_equivalent_on(term, term, all_bitvec_states(), theory, star_bound=4)
+
+    def test_detects_difference(self):
+        theory = BitVecTheory(variables=("a",))
+        p = T.tprim(BoolAssign("a", True))
+        q = T.tprim(BoolAssign("a", False))
+        assert not semantically_equivalent_on(p, q, [FrozenDict(a=False)], theory)

@@ -1,0 +1,138 @@
+"""Tests for the satisfiability substrate (DPLL(T) engine and the nat solver)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import terms as T
+from repro.smt.dpll import dpll_model, dpll_satisfiable, enumerate_models, naive_satisfiable
+from repro.smt.literals import atoms_of, conjunction_of, evaluate, substitute
+from repro.smt.natsolver import Bounds, model_bounds, satisfiable_bounds
+from repro.theories.bitvec import BitVecTheory, BoolEq
+from repro.theories.incnat import Gt, IncNatTheory
+from tests.conftest import bitvec_preds, incnat_preds
+
+
+class TestLiterals:
+    def test_atoms_sorted_and_unique(self):
+        pred = T.pand(T.pprim(BoolEq("b")), T.por(T.pprim(BoolEq("a")), T.pprim(BoolEq("b"))))
+        assert atoms_of(pred) == [BoolEq("a"), BoolEq("b")]
+
+    def test_substitute_simplifies(self):
+        a = T.pprim(BoolEq("a"))
+        pred = T.pand(a, T.pnot(a))
+        # The smart constructors already collapse a;~a, so build indirectly.
+        pred = T.pand(a, T.por(T.pnot(a), T.pprim(BoolEq("b"))))
+        result = substitute(pred, BoolEq("a"), True)
+        assert result == T.pprim(BoolEq("b"))
+        assert substitute(pred, BoolEq("a"), False) is T.pzero()
+
+    def test_evaluate(self):
+        a = T.pprim(BoolEq("a"))
+        b = T.pprim(BoolEq("b"))
+        pred = T.por(T.pnot(a), b)
+        assert evaluate(pred, {BoolEq("a"): False, BoolEq("b"): False})
+        assert not evaluate(pred, {BoolEq("a"): True, BoolEq("b"): False})
+
+    def test_conjunction_of(self):
+        literals = [(BoolEq("a"), True), (BoolEq("b"), False)]
+        pred = conjunction_of(literals)
+        assert evaluate(pred, {BoolEq("a"): True, BoolEq("b"): False})
+        assert not evaluate(pred, {BoolEq("a"): True, BoolEq("b"): True})
+
+
+class TestNatSolver:
+    def test_bounds_object(self):
+        bounds = Bounds()
+        bounds.add_greater_than(3)
+        assert bounds.consistent() and bounds.witness() == 4
+        bounds.add_not_greater_than(10)
+        assert bounds.consistent()
+        bounds.add_not_greater_than(3)
+        assert not bounds.consistent()
+
+    def test_satisfiable_simple_chain(self):
+        assert satisfiable_bounds([("x", 3, True), ("x", 10, False)])
+        assert not satisfiable_bounds([("x", 5, True), ("x", 3, False)])
+        assert not satisfiable_bounds([("x", 5, True), ("x", 5, False)])
+
+    def test_variables_independent(self):
+        assert satisfiable_bounds([("x", 5, True), ("y", 5, False)])
+
+    def test_naturals_lower_bound_is_zero(self):
+        # ~(x > 0) alone is satisfiable (x = 0).
+        assert satisfiable_bounds([("x", 0, False)])
+
+    def test_model_bounds(self):
+        model = model_bounds([("x", 3, True), ("y", 2, False)])
+        assert model["x"] == 4
+        assert model["y"] == 0
+        assert model_bounds([("x", 3, True), ("x", 1, False)]) is None
+
+
+class TestDpll:
+    def test_constants(self):
+        theory = BitVecTheory()
+        assert dpll_satisfiable(T.pone(), theory)
+        assert not dpll_satisfiable(T.pzero(), theory)
+
+    def test_contradiction_detected_via_theory(self):
+        """x>5 and ~(x>3) is Boolean-consistent but theory-inconsistent."""
+        theory = IncNatTheory()
+        pred = T.pand(T.pprim(Gt("x", 5)), T.pnot(T.pprim(Gt("x", 3))))
+        assert not dpll_satisfiable(pred, theory)
+        assert naive_satisfiable(pred, theory) is False
+
+    def test_satisfiable_bounds_chain(self):
+        theory = IncNatTheory()
+        pred = T.pand(T.pprim(Gt("x", 3)), T.pnot(T.pprim(Gt("x", 10))))
+        assert dpll_satisfiable(pred, theory)
+
+    def test_dpll_model_is_a_model(self):
+        theory = IncNatTheory()
+        pred = T.por(
+            T.pand(T.pprim(Gt("x", 3)), T.pnot(T.pprim(Gt("x", 2)))),  # theory-unsat
+            T.pand(T.pprim(Gt("y", 1)), T.pnot(T.pprim(Gt("y", 4)))),  # satisfiable
+        )
+        model = dpll_model(pred, theory)
+        assert model is not None
+        assignment = dict(model)
+        # The decided literals force the predicate to be true: completing the
+        # assignment arbitrarily (here: all False) must still satisfy it, and
+        # the decided literals themselves are theory-consistent.
+        assert theory.satisfiable_conjunction(model)
+        for alpha in atoms_of(pred):
+            assignment.setdefault(alpha, False)
+        assert evaluate(pred, assignment)
+
+    def test_dpll_model_none_when_unsat(self):
+        theory = IncNatTheory()
+        pred = T.pand(T.pprim(Gt("x", 5)), T.pnot(T.pprim(Gt("x", 5))))
+        assert dpll_model(pred, theory) is None
+
+    def test_enumerate_models_bitvec(self):
+        theory = BitVecTheory()
+        a = T.pprim(BoolEq("a"))
+        b = T.pprim(BoolEq("b"))
+        models = list(enumerate_models(T.por(a, b), theory))
+        assert len(models) == 3  # TT, TF, FT
+
+    @given(bitvec_preds(max_leaves=5))
+    def test_dpll_agrees_with_naive_bitvec(self, pred):
+        theory = BitVecTheory()
+        assert dpll_satisfiable(pred, theory) == naive_satisfiable(pred, theory)
+
+    @given(incnat_preds(max_leaves=4))
+    def test_dpll_agrees_with_naive_incnat(self, pred):
+        theory = IncNatTheory()
+        assert dpll_satisfiable(pred, theory) == naive_satisfiable(pred, theory)
+
+    @given(incnat_preds(max_leaves=4), st.integers(0, 5), st.integers(0, 5))
+    def test_concrete_witness_implies_sat(self, pred, x_value, y_value):
+        """If some concrete state satisfies the predicate, the solver says SAT."""
+        theory = IncNatTheory()
+        assignment = {}
+        for alpha in atoms_of(pred):
+            value = {"x": x_value, "y": y_value}.get(alpha.var, 0)
+            assignment[alpha] = value > alpha.bound
+        if evaluate(pred, assignment):
+            assert dpll_satisfiable(pred, theory)

@@ -1,0 +1,99 @@
+"""Tests for Temporal NetKAT = LTLf(NetKAT) (paper Section 2.6)."""
+
+import pytest
+
+from repro.core import terms as T
+from repro.core.kmt import KMT
+from repro.theories.ltlf import LtlfTheory
+from repro.theories.netkat import FieldAssign, FieldEq, NetKatTheory
+from repro.theories.temporal_netkat import temporal_netkat, waypoint_query
+
+
+@pytest.fixture
+def theory():
+    return temporal_netkat({"sw": (1, 2, 3), "dst": (1, 2)})
+
+
+@pytest.fixture
+def kmt(theory):
+    return KMT(theory)
+
+
+class TestConstruction:
+    def test_composition_shape(self, theory):
+        assert isinstance(theory, LtlfTheory)
+        assert isinstance(theory.inner, NetKatTheory)
+        assert theory.inner.fields["sw"] == (1, 2, 3)
+
+    def test_owns_both_kinds_of_primitives(self, theory):
+        assert theory.owns_test(FieldEq("sw", 1))
+        assert theory.owns_action(FieldAssign("sw", 2))
+        assert theory.owns_test(theory.ever(theory.inner.eq("sw", 2)).alpha)
+
+    def test_parses_mixed_syntax(self, kmt):
+        term = kmt.parse("sw = 1; dst <- 2; ev(sw = 1)")
+        assert isinstance(term, T.Term)
+
+
+class TestWaypointing:
+    def test_waypoint_query_helper(self, theory):
+        pred = waypoint_query(theory, "sw", 2)
+        assert isinstance(pred, T.PPrim)
+
+    def test_route_through_waypoint_verified(self, kmt, theory):
+        """Every packet delivered by this program passed through switch 2."""
+        program = kmt.parse("sw = 1; sw <- 2; sw <- 3")
+        waypoint = T.ttest(waypoint_query(theory, "sw", 2))
+        assert kmt.equivalent(program, T.tseq(program, waypoint))
+
+    def test_route_bypassing_waypoint_rejected(self, kmt, theory):
+        program = kmt.parse("sw = 1; sw <- 3")
+        waypoint = T.ttest(waypoint_query(theory, "sw", 2))
+        assert not kmt.equivalent(program, T.tseq(program, waypoint))
+
+    def test_branching_routes_one_missing_waypoint(self, kmt, theory):
+        """If only one branch visits the firewall, the waypoint property fails."""
+        program = kmt.parse("(dst = 1; sw <- 2; sw <- 3) + (dst = 2; sw <- 3)")
+        waypoint = T.ttest(waypoint_query(theory, "sw", 2))
+        assert not kmt.equivalent(program, T.tseq(program, waypoint))
+
+    def test_per_branch_verification(self, kmt, theory):
+        branch = kmt.parse("dst = 1; sw <- 2; sw <- 3")
+        waypoint = T.ttest(waypoint_query(theory, "sw", 2))
+        assert kmt.equivalent(branch, T.tseq(branch, waypoint))
+
+
+class TestTemporalNetworkQueries:
+    def test_history_last(self, kmt, theory):
+        """After forwarding to sw 3 from sw 2, last(sw = 2) holds."""
+        program = kmt.parse("sw = 2; sw <- 3")
+        check = T.ttest(theory.last(theory.inner.eq("sw", 2)))
+        assert kmt.equivalent(program, T.tseq(program, check))
+
+    def test_field_rewrite_hides_old_value_but_history_remembers(self, kmt, theory):
+        program = kmt.parse("dst = 1; dst <- 2")
+        now = T.ttest(theory.inner.eq("dst", 1))
+        before = T.ttest(theory.ever(theory.inner.eq("dst", 1)))
+        assert not kmt.equivalent(program, T.tseq(program, now))
+        assert kmt.equivalent(program, T.tseq(program, before))
+
+    def test_temporal_emptiness(self, kmt, theory):
+        """No start-anchored trace of this program ever saw sw = 2."""
+        program = T.tseq(T.ttest(theory.start()), kmt.parse("sw = 1; sw <- 3"))
+        saw_waypoint = T.ttest(theory.ever(theory.inner.eq("sw", 2)))
+        assert kmt.is_empty(T.tseq(program, saw_waypoint))
+        # Without the anchor the packet may have visited switch 2 before.
+        unanchored = kmt.parse("sw = 1; sw <- 3")
+        assert not kmt.is_empty(T.tseq(unanchored, saw_waypoint))
+
+    def test_slice_isolation(self, kmt, theory):
+        """Slice-1 packets entering at switch 1 never traverse switch 3."""
+        ingress = T.ttest(T.pand(theory.start(), theory.inner.eq("sw", 1)))
+        policy = kmt.parse("(dst = 1; sw <- 2) + (dst = 2; sw <- 3)")
+        violation = T.ttest(
+            T.pand(theory.inner.eq("dst", 1), theory.ever(theory.inner.eq("sw", 3)))
+        )
+        assert kmt.is_empty(T.tseq(ingress, T.tseq(policy, violation)))
+        # Without the ingress constraint the property is violable (the packet
+        # may already have been at switch 3 before the policy ran).
+        assert not kmt.is_empty(T.tseq(policy, violation))

@@ -1,0 +1,142 @@
+"""Tests for the BitVec theory (paper Fig. 3a, Section 2.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import terms as T
+from repro.core.semantics import Trace
+from repro.theories.bitvec import BitVecTheory, BoolAssign, BoolEq
+from repro.utils.errors import ParseError, TheoryError
+from repro.utils.frozendict import FrozenDict
+
+
+@pytest.fixture
+def theory():
+    return BitVecTheory(variables=("a", "b"))
+
+
+class TestSemantics:
+    def test_initial_state_all_false(self, theory):
+        assert theory.initial_state() == FrozenDict(a=False, b=False)
+
+    def test_pred_reads_last_state(self, theory):
+        trace = Trace.initial(FrozenDict(a=True, b=False))
+        assert theory.pred(BoolEq("a"), trace)
+        assert not theory.pred(BoolEq("b"), trace)
+
+    def test_unset_variables_read_false(self, theory):
+        trace = Trace.initial(FrozenDict())
+        assert not theory.pred(BoolEq("zzz"), trace)
+
+    def test_act_updates(self, theory):
+        state = FrozenDict(a=False, b=False)
+        assert theory.act(BoolAssign("a", True), state)["a"] is True
+        assert theory.act(BoolAssign("a", True), state)["b"] is False
+
+    def test_foreign_primitives_rejected(self, theory):
+        from repro.theories.incnat import Gt, Incr
+
+        with pytest.raises(TheoryError):
+            theory.pred(Gt("x", 1), Trace.initial(FrozenDict()))
+        with pytest.raises(TheoryError):
+            theory.act(Incr("x"), FrozenDict())
+        with pytest.raises(TheoryError):
+            theory.push_back(Incr("x"), BoolEq("a"))
+
+
+class TestPushback:
+    def test_true_true_axiom(self, theory):
+        """b := T ; b = T  ==  b := T."""
+        assert theory.push_back(BoolAssign("a", True), BoolEq("a")) == [T.pone()]
+
+    def test_false_true_axiom(self, theory):
+        """b := F ; b = T  ==  0."""
+        assert theory.push_back(BoolAssign("a", False), BoolEq("a")) == [T.pzero()]
+
+    def test_commute_different_variables(self, theory):
+        assert theory.push_back(BoolAssign("b", True), BoolEq("a")) == [T.pprim(BoolEq("a"))]
+
+    def test_subterms_empty(self, theory):
+        assert list(theory.subterms(BoolEq("a"))) == []
+
+    @given(st.sampled_from(["a", "b"]), st.booleans(), st.sampled_from(["a", "b"]))
+    def test_pushback_sound_against_semantics(self, assign_var, assign_value, test_var):
+        """pi;alpha and (sum of pushed-back tests);pi accept the same states."""
+        theory = BitVecTheory(variables=("a", "b"))
+        pi = BoolAssign(assign_var, assign_value)
+        alpha = BoolEq(test_var)
+        pushed = T.por_all(theory.push_back(pi, alpha))
+        for a_val in (False, True):
+            for b_val in (False, True):
+                state = FrozenDict(a=a_val, b=b_val)
+                trace = Trace.initial(state)
+                after = trace.append(theory.act(pi, state), pi)
+                lhs_holds = theory.pred(alpha, after)
+                from repro.core.semantics import eval_pred
+
+                rhs_holds = eval_pred(pushed, trace, theory)
+                assert lhs_holds == rhs_holds
+
+
+class TestSatisfiability:
+    def test_conjunction_conflicting_polarities(self, theory):
+        assert not theory.satisfiable_conjunction([(BoolEq("a"), True), (BoolEq("a"), False)])
+        assert theory.satisfiable_conjunction([(BoolEq("a"), True), (BoolEq("b"), False)])
+
+    def test_satisfiable_pred(self, theory):
+        a = T.pprim(BoolEq("a"))
+        b = T.pprim(BoolEq("b"))
+        assert theory.satisfiable(T.por(a, b))
+        assert not theory.satisfiable(T.pand(a, T.pnot(a)))
+
+
+class TestSugarAndParsing:
+    def test_eq_and_assign_builders(self, theory):
+        assert theory.eq("a") == T.pprim(BoolEq("a"))
+        assert theory.eq("a", False) == T.pnot(T.pprim(BoolEq("a")))
+        assert theory.assign("a", True) == T.tprim(BoolAssign("a", True))
+
+    def test_flip_expansion(self, theory):
+        flip = theory.flip("a")
+        assert isinstance(flip, T.TPlus)
+
+    def test_parse_phrases(self, theory):
+        from repro.core.parser import tokenize
+
+        def phrase(text):
+            return theory.parse_phrase(tokenize(text)[:-1])
+
+        assert phrase("a = T") == ("test", BoolEq("a"))
+        kind, pred = phrase("a = F")
+        assert kind == "pred" and pred == T.pnot(T.pprim(BoolEq("a")))
+        assert phrase("a := T") == ("action", BoolAssign("a", True))
+        assert phrase("a := F") == ("action", BoolAssign("a", False))
+        kind, term = phrase("flip a")
+        assert kind == "term" and isinstance(term, T.TPlus)
+        with pytest.raises(ParseError):
+            phrase("a + b")
+        with pytest.raises(ParseError):
+            phrase("a > 3")
+
+    def test_describe_and_variables(self, theory):
+        assert "bitvec" in theory.describe()
+        assert theory.test_variables(BoolEq("a")) == ("a",)
+        assert theory.action_variables(BoolAssign("a", True)) == ("a",)
+
+
+class TestEndToEnd:
+    def test_parity_loop(self, kmt_bitvec):
+        """Fig. 9 row 4: x = F; (flip x; flip x)* == (flip x; flip x)*; x = F."""
+        assert kmt_bitvec.equivalent(
+            "a = F; (flip a; flip a)*", "(flip a; flip a)*; a = F"
+        )
+
+    def test_flip_twice_is_not_identity_in_traces(self, kmt_bitvec):
+        """flip;flip restores the state but produces a longer trace."""
+        assert not kmt_bitvec.equivalent("flip a; flip a", "true")
+
+    def test_assignment_then_test(self, kmt_bitvec):
+        assert kmt_bitvec.equivalent("a := T; a = T", "a := T")
+        assert kmt_bitvec.equivalent("a := F; a = T", "false")
+        assert kmt_bitvec.equivalent("a := T; b = T", "b = T; a := T")

@@ -1,0 +1,173 @@
+"""Tests for the IncNat theory of increasing naturals (paper Fig. 2, §1.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import terms as T
+from repro.core.semantics import Trace, eval_pred
+from repro.theories.incnat import AssignNat, Gt, IncNatTheory, Incr
+from repro.utils.errors import ParseError, TheoryError
+from repro.utils.frozendict import FrozenDict
+
+
+@pytest.fixture
+def theory():
+    return IncNatTheory(variables=("x", "y"))
+
+
+class TestPrimitives:
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(TheoryError):
+            Gt("x", -1)
+        with pytest.raises(TheoryError):
+            AssignNat("x", -2)
+
+    def test_str_forms(self):
+        assert str(Gt("x", 3)) == "x > 3"
+        assert str(Incr("x")) == "inc(x)"
+        assert str(AssignNat("x", 7)) == "x := 7"
+
+
+class TestSemantics:
+    def test_initial_state(self, theory):
+        assert theory.initial_state() == FrozenDict(x=0, y=0)
+
+    def test_pred_and_act(self, theory):
+        state = FrozenDict(x=3, y=0)
+        trace = Trace.initial(state)
+        assert theory.pred(Gt("x", 2), trace)
+        assert not theory.pred(Gt("x", 3), trace)
+        assert theory.act(Incr("x"), state)["x"] == 4
+        assert theory.act(AssignNat("y", 9), state)["y"] == 9
+
+    def test_unset_variables_default_to_zero(self, theory):
+        trace = Trace.initial(FrozenDict())
+        assert not theory.pred(Gt("z", 0), trace)
+        assert theory.act(Incr("z"), FrozenDict())["z"] == 1
+
+    def test_foreign_primitives_rejected(self, theory):
+        from repro.theories.bitvec import BoolAssign, BoolEq
+
+        with pytest.raises(TheoryError):
+            theory.pred(BoolEq("a"), Trace.initial(FrozenDict()))
+        with pytest.raises(TheoryError):
+            theory.act(BoolAssign("a", True), FrozenDict())
+        with pytest.raises(TheoryError):
+            theory.push_back(Incr("x"), BoolEq("a"))
+        with pytest.raises(TheoryError):
+            theory.subterms(BoolEq("a"))
+
+
+class TestPushback:
+    def test_inc_gt_general(self, theory):
+        """Inc-GT: inc x; x > n == (x > n-1); inc x   for n > 0."""
+        assert theory.push_back(Incr("x"), Gt("x", 4)) == [T.pprim(Gt("x", 3))]
+
+    def test_inc_gt_zero(self, theory):
+        """Inc-GT-Z: inc x; x > 0 == inc x."""
+        assert theory.push_back(Incr("x"), Gt("x", 0)) == [T.pone()]
+
+    def test_gt_comm(self, theory):
+        """GT-Comm: inc y; x > n == (x > n); inc y."""
+        assert theory.push_back(Incr("y"), Gt("x", 4)) == [T.pprim(Gt("x", 4))]
+
+    def test_assign_gt(self, theory):
+        """Assgn-GT resolves statically on the constants."""
+        assert theory.push_back(AssignNat("x", 5), Gt("x", 3)) == [T.pone()]
+        assert theory.push_back(AssignNat("x", 3), Gt("x", 3)) == [T.pzero()]
+        assert theory.push_back(AssignNat("y", 5), Gt("x", 3)) == [T.pprim(Gt("x", 3))]
+
+    def test_subterms_are_all_smaller_bounds(self, theory):
+        subs = set(theory.subterms(Gt("x", 3)))
+        assert subs == {T.pprim(Gt("x", m)) for m in range(3)}
+
+    @given(
+        st.sampled_from(["x", "y"]),
+        st.integers(0, 6),
+        st.one_of(
+            st.builds(Incr, st.sampled_from(["x", "y"])),
+            st.builds(AssignNat, st.sampled_from(["x", "y"]), st.integers(0, 6)),
+        ),
+        st.integers(0, 6),
+        st.integers(0, 6),
+    )
+    def test_pushback_sound_against_semantics(self, test_var, bound, action, x0, y0):
+        """WP soundness: pi;alpha holds after iff the pushed-back sum holds before."""
+        theory = IncNatTheory()
+        alpha = Gt(test_var, bound)
+        pushed = T.por_all(theory.push_back(action, alpha))
+        state = FrozenDict(x=x0, y=y0)
+        trace = Trace.initial(state)
+        after = trace.append(theory.act(action, state), action)
+        assert theory.pred(alpha, after) == eval_pred(pushed, trace, theory)
+
+
+class TestSatisfiability:
+    def test_conjunction_bounds(self, theory):
+        assert theory.satisfiable_conjunction([(Gt("x", 3), True), (Gt("x", 10), False)])
+        assert not theory.satisfiable_conjunction([(Gt("x", 5), True), (Gt("x", 3), False)])
+        assert theory.satisfiable_conjunction([(Gt("x", 5), True), (Gt("y", 3), False)])
+
+    def test_satisfiable_pred_via_dpll(self, theory):
+        pred = T.pand(T.pprim(Gt("x", 5)), T.pnot(T.pprim(Gt("x", 8))))
+        assert theory.satisfiable(pred)
+        contradiction = T.pand(T.pprim(Gt("x", 5)), T.pnot(T.pprim(Gt("x", 5))))
+        assert not theory.satisfiable(contradiction)
+
+
+class TestSugar:
+    def test_encodings(self, theory):
+        assert theory.gt("x", 3) == T.pprim(Gt("x", 3))
+        assert theory.ge("x", 0) is T.pone()
+        assert theory.ge("x", 4) == T.pprim(Gt("x", 3))
+        assert theory.lt("x", 0) is T.pzero()
+        assert theory.lt("x", 3) == T.pnot(T.pprim(Gt("x", 2)))
+        assert theory.le("x", 3) == T.pnot(T.pprim(Gt("x", 3)))
+        assert theory.eq("x", 0) == T.pnot(T.pprim(Gt("x", 0)))
+        assert theory.eq("x", 4) == T.pand(T.pprim(Gt("x", 3)), T.pnot(T.pprim(Gt("x", 4))))
+
+    def test_sugar_is_semantically_correct(self, theory):
+        for value in range(0, 6):
+            state = FrozenDict(x=value)
+            trace = Trace.initial(state)
+            assert eval_pred(theory.lt("x", 3), trace, theory) == (value < 3)
+            assert eval_pred(theory.le("x", 3), trace, theory) == (value <= 3)
+            assert eval_pred(theory.ge("x", 3), trace, theory) == (value >= 3)
+            assert eval_pred(theory.eq("x", 3), trace, theory) == (value == 3)
+
+    def test_parse_phrases(self, theory):
+        from repro.core.parser import tokenize
+
+        def phrase(text):
+            return theory.parse_phrase(tokenize(text)[:-1])
+
+        assert phrase("x > 3") == ("test", Gt("x", 3))
+        assert phrase("inc(x)") == ("action", Incr("x"))
+        assert phrase("inc x") == ("action", Incr("x"))
+        assert phrase("x := 4") == ("action", AssignNat("x", 4))
+        kind, pred = phrase("x < 2")
+        assert kind == "pred" and pred == theory.lt("x", 2)
+        kind, pred = phrase("x = 2")
+        assert kind == "pred" and pred == theory.eq("x", 2)
+        with pytest.raises(ParseError):
+            phrase("x ? 3")
+
+
+class TestEndToEnd:
+    def test_counters_commute(self, kmt_incnat):
+        """Fig. 9 row 3."""
+        assert kmt_incnat.equivalent(
+            "inc(x)*; x > 3; inc(y)*; y > 3", "inc(x)*; inc(y)*; x > 3; y > 3"
+        )
+
+    def test_unbounded_state_reasoning(self, kmt_incnat):
+        """The paper's headline: x grows without bound, yet equivalence is decidable."""
+        assert kmt_incnat.equivalent("inc(x)*; x > 10", "inc(x)*; inc(x)*; x > 10")
+        assert not kmt_incnat.equivalent("inc(x)*; x > 10", "inc(x)*; x > 11")
+
+    def test_pnat_shape(self, kmt_incnat):
+        """A bounded version of Fig. 1(a): the assert can be strengthened."""
+        program = "x < 1; (x < 2; inc(x); inc(y); inc(y))*; ~(x < 2); y > 1"
+        stronger = "x < 1; (x < 2; inc(x); inc(y); inc(y))*; ~(x < 2); y > 1; y > 0"
+        assert kmt_incnat.equivalent(program, stronger)

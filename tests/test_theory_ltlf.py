@@ -1,0 +1,225 @@
+"""Tests for LTLf, past-time temporal logic on finite traces (Fig. 3d, §2.4)."""
+
+import pytest
+
+from repro.core import terms as T
+from repro.core.kmt import KMT
+from repro.core.semantics import Trace
+from repro.theories.bitvec import BitVecTheory, BoolAssign, BoolEq
+from repro.theories.incnat import Gt, IncNatTheory, Incr
+from repro.theories.ltlf import LtlLast, LtlSince, LtlfTheory
+from repro.utils.frozendict import FrozenDict
+
+
+@pytest.fixture
+def nat():
+    return IncNatTheory(variables=("j",))
+
+
+@pytest.fixture
+def theory(nat):
+    return LtlfTheory(nat)
+
+
+@pytest.fixture
+def kmt(theory):
+    return KMT(theory)
+
+
+@pytest.fixture
+def bool_theory():
+    return LtlfTheory(BitVecTheory(variables=("a", "b")))
+
+
+@pytest.fixture
+def kmt_bool(bool_theory):
+    return KMT(bool_theory)
+
+
+def nat_trace(*values):
+    """A trace whose states bind j to the given successive values."""
+    trace = Trace.initial(FrozenDict(j=values[0]))
+    for value in values[1:]:
+        trace = trace.append(FrozenDict(j=value), Incr("j"))
+    return trace
+
+
+class TestTemporalSemantics:
+    def test_last_false_at_start_of_time(self, theory, kmt, nat):
+        trace = nat_trace(5)
+        assert not theory.pred(LtlLast(nat.gt("j", 0)), trace)
+
+    def test_last_looks_one_step_back(self, theory, kmt, nat):
+        trace = nat_trace(0, 5)
+        assert not theory.pred(LtlLast(nat.gt("j", 0)), trace)
+        trace = nat_trace(5, 6)
+        assert theory.pred(LtlLast(nat.gt("j", 0)), trace)
+
+    def test_since_degenerates_to_b_at_start(self, theory, kmt, nat):
+        trace = nat_trace(3)
+        assert theory.pred(LtlSince(T.pone(), nat.gt("j", 2)), trace)
+        assert not theory.pred(LtlSince(T.pone(), nat.gt("j", 5)), trace)
+
+    def test_since_requires_a_to_hold_since_b(self, theory, kmt, nat):
+        # j: 5, 1, 2 — "j>0 since j>4" holds iff j>4 held at some point and
+        # j>0 has held at every later point.
+        good = nat_trace(5, 1, 2)
+        assert theory.pred(LtlSince(nat.gt("j", 0), nat.gt("j", 4)), good)
+        # j: 5, 0, 2 — broken in the middle (j = 0).
+        bad = nat_trace(5, 0, 2)
+        assert not theory.pred(LtlSince(nat.gt("j", 0), nat.gt("j", 4)), bad)
+
+    def test_ever_and_always(self, theory, kmt, nat):
+        ever = theory.ever(nat.gt("j", 4))
+        always = theory.always(nat.gt("j", 0))
+        trace = nat_trace(5, 1, 2)
+        assert kmt.eval_pred(ever, trace)
+        assert kmt.eval_pred(always, trace)
+        assert not kmt.eval_pred(theory.always(nat.gt("j", 1)), trace)
+        assert not kmt.eval_pred(theory.ever(nat.gt("j", 9)), trace)
+
+    def test_start_and_wlast(self, theory, kmt, nat):
+        assert kmt.eval_pred(theory.start(), nat_trace(3))
+        assert not kmt.eval_pred(theory.start(), nat_trace(3, 4))
+        # Weak last is true at the start of time, even for a false body.
+        assert kmt.eval_pred(theory.wlast(T.pzero()), nat_trace(3))
+        assert not kmt.eval_pred(theory.wlast(T.pzero()), nat_trace(3, 4))
+
+    def test_inner_tests_still_work(self, theory, kmt, nat):
+        assert kmt.eval_pred(nat.gt("j", 1), nat_trace(0, 2))
+
+
+class TestPushback:
+    def test_last_pushes_to_body(self, theory, kmt, nat):
+        assert theory.push_back(Incr("j"), LtlLast(nat.gt("j", 3))) == [nat.gt("j", 3)]
+
+    def test_since_unrolls(self, theory, kmt, nat):
+        alpha = LtlSince(T.pone(), nat.gt("j", 3))
+        pushed = theory.push_back(Incr("j"), alpha)
+        # pi;(a S b) WP b' + a';(a S b): here b' = j>2 and a' = 1.
+        assert nat.gt("j", 2) in pushed
+        assert T.pprim(alpha) in pushed
+
+    def test_paper_section_2_4_example(self, theory, kmt, nat):
+        """inc j; always(j <= 2)  ==  (j <= 1); always(j <= 2); inc j."""
+        lhs = T.tseq(nat.inc("j"), T.ttest(theory.always(nat.le("j", 2))))
+        rhs = T.tseq(
+            T.ttest(T.pand(nat.le("j", 1), theory.always(nat.le("j", 2)))), nat.inc("j")
+        )
+        assert kmt.equivalent(lhs, rhs)
+
+    def test_weakest_precondition_of_always(self, theory, kmt, nat):
+        """The §2.4 calculation: pushing always(j<=200)-style tests through inc."""
+        wp = kmt.weakest_precondition(Incr("j"), theory.always(nat.le("j", 2)))
+        # Satisfied exactly when j <= 1 now and j <= 2 held throughout the past.
+        good = nat_trace(0, 1)
+        bad_now = nat_trace(1, 2)       # j = 2 now: after inc it would be 3
+        bad_past = nat_trace(3, 1)      # j exceeded 2 in the past
+        assert kmt.eval_pred(wp, good)
+        assert not kmt.eval_pred(wp, bad_now)
+        assert not kmt.eval_pred(wp, bad_past)
+
+
+class TestSubtermsAndOrdering:
+    def test_subterms_include_bodies(self, theory, nat):
+        last = LtlLast(nat.gt("j", 1))
+        assert nat.gt("j", 1) in theory.subterms(last)
+        since = LtlSince(nat.gt("j", 0), nat.gt("j", 2))
+        subs = theory.subterms(since)
+        assert nat.gt("j", 0) in subs and nat.gt("j", 2) in subs
+
+    def test_inner_subterms_delegate(self, theory):
+        assert T.pprim(Gt("j", 0)) in set(theory.subterms(Gt("j", 1)))
+
+
+class TestSatisfiability:
+    def test_non_temporal_delegates_to_inner(self, theory, nat):
+        assert theory.satisfiable(T.pand(nat.gt("j", 1), nat.le("j", 5)))
+        assert not theory.satisfiable(T.pand(nat.gt("j", 5), nat.le("j", 3)))
+
+    def test_temporal_satisfiability(self, theory, kmt, nat):
+        # "j > 2 held at some point in the past" is satisfiable...
+        assert theory.satisfiable(T.pprim(LtlSince(T.pone(), nat.gt("j", 2))))
+        # ... and so is "in the previous state j > 2".
+        assert theory.satisfiable(T.pprim(LtlLast(nat.gt("j", 2))))
+        # start;last(anything) is unsatisfiable: there is no previous state.
+        assert not theory.satisfiable(
+            T.pand(theory.start(), T.pprim(LtlLast(T.pone())))
+        )
+
+    def test_temporal_contradiction(self, theory, kmt, nat):
+        # always(j <= 2) together with "j > 4 held at some point" is contradictory.
+        pred = T.pand(theory.always(nat.le("j", 2)), theory.ever(nat.gt("j", 4)))
+        assert not theory.satisfiable(pred)
+
+    def test_conjunction_oracle(self, theory, kmt, nat):
+        literals = [(LtlLast(nat.gt("j", 2)), True), (Gt("j", 0), True)]
+        assert theory.satisfiable_conjunction(literals)
+
+
+class TestModelChecking:
+    """Model checking as equivalence (Section 2.4).
+
+    For the question "does every run of r satisfy prop?" to be meaningful the
+    program must be *anchored*: ``start`` pins the input trace to a single
+    state (no unconstrained history) and an initial test (the paper's
+    ``assume``) pins that state's relevant variables.
+    """
+
+    def _anchored_program(self, kmt, theory):
+        # start; j < 1; inc j; inc j — runs j through 0, 1, 2 with no history.
+        return T.tseq(
+            T.ttest(T.pand(theory.start(), kmt.parse_pred("j < 1"))),
+            kmt.parse("inc(j); inc(j)"),
+        )
+
+    def test_anchored_invariant_holds(self, kmt, theory, nat):
+        anchored = self._anchored_program(kmt, theory)
+        prop = T.ttest(theory.always(nat.le("j", 2)))
+        assert kmt.equivalent(anchored, T.tseq(anchored, prop))
+
+    def test_anchored_invariant_fails(self, kmt, theory, nat):
+        anchored = self._anchored_program(kmt, theory)
+        too_strong = T.ttest(theory.always(nat.le("j", 1)))
+        assert not kmt.equivalent(anchored, T.tseq(anchored, too_strong))
+
+    def test_unanchored_program_does_not_satisfy_invariant(self, kmt, theory, nat):
+        """Without anchoring, the arbitrary initial state/history can violate the invariant."""
+        r = kmt.parse("j := 0; inc(j)")
+        prop = T.ttest(theory.always(nat.le("j", 1)))
+        assert not kmt.equivalent(r, T.tseq(r, prop))
+
+    def test_emptiness_style_model_checking(self, kmt, theory, nat):
+        """r; ~prop is empty iff every trace of r satisfies prop."""
+        anchored = self._anchored_program(kmt, theory)
+        prop = theory.always(nat.le("j", 2))
+        assert kmt.is_empty(T.tseq(anchored, T.ttest(T.pnot(prop))))
+        weak = theory.always(nat.le("j", 1))
+        assert not kmt.is_empty(T.tseq(anchored, T.ttest(T.pnot(weak))))
+
+
+class TestOverBitVec:
+    def test_history_of_flags(self, kmt_bool, bool_theory):
+        bv = bool_theory.inner
+        program = "a := T; a := F"
+        r = kmt_bool.parse(program)
+        was_set = bool_theory.ever(bv.eq("a", True))
+        assert kmt_bool.equivalent(r, T.tseq(r, T.ttest(was_set)))
+
+    def test_since_unroll_law(self, kmt_bool, bool_theory):
+        """LTL-Since-Unroll: a S b == b + a; last(a S b)."""
+        bv = bool_theory.inner
+        a = bv.eq("a", True)
+        b = bv.eq("b", True)
+        since = bool_theory.since(a, b)
+        unrolled = T.por(b, T.pand(a, bool_theory.last(since)))
+        assert kmt_bool.equivalent(T.ttest(since), T.ttest(unrolled))
+
+    def test_not_since_law(self, kmt_bool, bool_theory):
+        """LTL-Not-Since: ~(a S b) == (~b) B (~a;~b)."""
+        bv = bool_theory.inner
+        a = bv.eq("a", True)
+        b = bv.eq("b", True)
+        lhs = T.pnot(bool_theory.since(a, b))
+        rhs = bool_theory.back_to(T.pnot(b), T.pand(T.pnot(a), T.pnot(b)))
+        assert kmt_bool.equivalent(T.ttest(lhs), T.ttest(rhs))

@@ -1,0 +1,193 @@
+"""Tests for the unbounded-map theory (paper Sections 1.1 and 2.3)."""
+
+import pytest
+
+from repro.core import terms as T
+from repro.core.kmt import KMT
+from repro.core.semantics import Trace
+from repro.theories.bitvec import BitVecTheory, BoolAssign, BoolEq
+from repro.theories.incnat import Gt, IncNatTheory, Incr
+from repro.theories.maps import MapEq, MapTheory, MapWrite, NatBoolMapAdapter
+from repro.theories.product import ProductTheory
+from repro.utils.errors import ParseError
+from repro.utils.frozendict import FrozenDict
+
+
+@pytest.fixture
+def incnat():
+    return IncNatTheory(variables=("i",))
+
+
+@pytest.fixture
+def bitvec():
+    return BitVecTheory(variables=("parity",))
+
+
+@pytest.fixture
+def inner(incnat, bitvec):
+    return ProductTheory(incnat, bitvec)
+
+
+@pytest.fixture
+def adapter(incnat, bitvec):
+    return NatBoolMapAdapter(
+        incnat, bitvec, key_variables=("i",), value_variables=("parity",)
+    )
+
+
+@pytest.fixture
+def theory(inner, adapter):
+    return MapTheory(inner, adapter, map_variables=("odd",))
+
+
+@pytest.fixture
+def kmt(theory):
+    return KMT(theory)
+
+
+class TestAdapter:
+    def test_key_eq_pred(self, adapter, incnat):
+        assert adapter.key_eq_pred("i", 3) == incnat.eq("i", 3)
+        assert adapter.key_eq_pred(3, 3) is T.pone()
+        assert adapter.key_eq_pred(2, 3) is T.pzero()
+
+    def test_value_eq_pred(self, adapter, bitvec):
+        assert adapter.value_eq_pred("parity", True) == bitvec.eq("parity", True)
+        assert adapter.value_eq_pred("parity", False) == T.pnot(bitvec.eq("parity", True))
+        assert adapter.value_eq_pred(True, True) is T.pone()
+        assert adapter.value_eq_pred(True, False) is T.pzero()
+
+    def test_eval(self, adapter):
+        inner_state = (FrozenDict(i=4), FrozenDict(parity=True))
+        assert adapter.eval_key("i", inner_state) == 4
+        assert adapter.eval_key(9, inner_state) == 9
+        assert adapter.eval_value("parity", inner_state) is True
+        assert adapter.eval_value(False, inner_state) is False
+
+    def test_parsers(self, adapter):
+        assert adapter.parse_key("7") == 7
+        assert adapter.parse_key("i") == "i"
+        assert adapter.parse_value("T") is True
+        assert adapter.parse_value("F") is False
+
+
+class TestSemantics:
+    def test_initial_state(self, theory):
+        maps, inner_state = theory.initial_state()
+        assert maps == FrozenDict(odd=FrozenDict())
+        assert inner_state[0] == FrozenDict(i=0)
+
+    def test_write_then_read(self, theory):
+        state = theory.initial_state()
+        state = theory.act(Incr("i"), state)                     # i = 1
+        state = theory.act(BoolAssign("parity", True), state)    # parity = T
+        state = theory.act(MapWrite("odd", "i", "parity"), state)
+        trace = Trace.initial(state)
+        assert theory.pred(MapEq("odd", 1, True), trace)
+        assert not theory.pred(MapEq("odd", 1, False), trace)
+        assert not theory.pred(MapEq("odd", 0, True), trace)
+        assert theory.pred(Gt("i", 0), trace)
+        assert theory.pred(BoolEq("parity"), trace)
+
+    def test_unwritten_key_matches_nothing(self, theory):
+        trace = Trace.initial(theory.initial_state())
+        assert not theory.pred(MapEq("odd", 5, True), trace)
+        assert not theory.pred(MapEq("odd", 5, False), trace)
+
+
+class TestPushback:
+    def test_write_other_map_commutes(self, theory):
+        result = theory.push_back(MapWrite("even", "i", "parity"), MapEq("odd", 1, True))
+        assert result == [T.pprim(MapEq("odd", 1, True))]
+
+    def test_precise_weakest_precondition(self, theory, incnat, bitvec):
+        """X[e1]:=e2; X[c1]=c2  WP  (e1=c1; e2=c2) + (~(e1=c1); X[c1]=c2)."""
+        overwrite, untouched = theory.push_back(
+            MapWrite("odd", "i", "parity"), MapEq("odd", 1, True)
+        )
+        key_eq = incnat.eq("i", 1)
+        value_eq = bitvec.eq("parity", True)
+        assert overwrite == T.pand(key_eq, value_eq)
+        assert untouched == T.pand(T.pnot(key_eq), T.pprim(MapEq("odd", 1, True)))
+
+    def test_write_commutes_with_inner_tests(self, theory):
+        result = theory.push_back(MapWrite("odd", "i", "parity"), Gt("i", 2))
+        assert result == [T.pprim(Gt("i", 2))]
+
+    def test_inner_action_commutes_with_map_test(self, theory):
+        result = theory.push_back(Incr("i"), MapEq("odd", 1, True))
+        assert result == [T.pprim(MapEq("odd", 1, True))]
+
+    def test_inner_pair_delegates(self, theory):
+        assert theory.push_back(Incr("i"), Gt("i", 2)) == [T.pprim(Gt("i", 1))]
+
+    def test_subterms_cover_key_and_value_equalities(self, theory, incnat, bitvec):
+        subs = list(theory.subterms(MapEq("odd", 1, True)))
+        assert incnat.eq("i", 1) in subs
+        assert bitvec.eq("parity", True) in subs
+
+
+class TestSatisfiability:
+    def test_cell_cannot_hold_two_values(self, theory):
+        assert not theory.satisfiable_conjunction(
+            [(MapEq("odd", 1, True), True), (MapEq("odd", 1, False), True)]
+        )
+
+    def test_distinct_cells_independent(self, theory):
+        assert theory.satisfiable_conjunction(
+            [(MapEq("odd", 1, True), True), (MapEq("odd", 2, False), True)]
+        )
+
+    def test_positive_and_negative_same_cell_value(self, theory):
+        assert not theory.satisfiable_conjunction(
+            [(MapEq("odd", 1, True), True), (MapEq("odd", 1, True), False)]
+        )
+
+    def test_inner_conflict_detected(self, theory):
+        assert not theory.satisfiable_conjunction(
+            [(MapEq("odd", 1, True), True), (Gt("i", 4), True), (Gt("i", 5), False), (Gt("i", 6), True)]
+        )
+
+
+class TestParsing:
+    def test_phrases(self, theory):
+        from repro.core.parser import tokenize
+
+        def phrase(text):
+            return theory.parse_phrase(tokenize(text)[:-1])
+
+        assert phrase("odd[1] = T") == ("test", MapEq("odd", 1, True))
+        assert phrase("odd[i] := parity") == ("action", MapWrite("odd", "i", "parity"))
+        assert phrase("odd[0] := F") == ("action", MapWrite("odd", 0, False))
+        assert phrase("i > 2") == ("test", Gt("i", 2))
+        with pytest.raises(ParseError):
+            phrase("odd{1} = T")
+
+    def test_parse_term(self, kmt):
+        term = kmt.parse("i := 0; parity := F; odd[i] := parity; odd[0] = F")
+        assert isinstance(term, T.Term)
+
+
+class TestEndToEnd:
+    def test_written_cell_reads_back(self, kmt):
+        assert kmt.equivalent(
+            "i := 1; parity := T; odd[i] := parity; odd[1] = T",
+            "i := 1; parity := T; odd[i] := parity",
+        )
+
+    def test_overwrite_changes_value(self, kmt):
+        """Writing the cell again with a different value falsifies the old test."""
+        assert kmt.is_empty(
+            "i := 1; parity := T; odd[i] := parity; parity := F; odd[i] := parity; odd[1] = T"
+        )
+
+    def test_pmap_parity_program(self, kmt):
+        """A bounded Fig. 1(c): odd[i] := parity while flipping parity."""
+        program = (
+            "i := 0; parity := F; "
+            "(i < 3; odd[i] := parity; inc(i); flip parity)*; ~(i < 3)"
+        )
+        assert kmt.equivalent(f"{program}; odd[1] = T", program)
+        assert kmt.is_empty(f"{program}; odd[0] = T")
+        assert kmt.is_empty(f"{program}; odd[2] = T")
+        assert kmt.equivalent(f"{program}; odd[2] = F", program)

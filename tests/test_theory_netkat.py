@@ -1,0 +1,142 @@
+"""Tests for tracing NetKAT (paper Fig. 4, Section 2.5)."""
+
+import pytest
+
+from repro.core import terms as T
+from repro.core.kmt import KMT
+from repro.core.semantics import Trace
+from repro.theories.netkat import FieldAssign, FieldEq, NetKatTheory
+from repro.utils.errors import ParseError, TheoryError
+from repro.utils.frozendict import FrozenDict
+
+
+@pytest.fixture
+def theory():
+    return NetKatTheory({"sw": (1, 2, 3), "dst": (1, 2), "tag": None})
+
+
+@pytest.fixture
+def kmt(theory):
+    return KMT(theory)
+
+
+class TestSemantics:
+    def test_initial_state_uses_first_domain_value(self, theory):
+        state = theory.initial_state()
+        assert state["sw"] == 1 and state["dst"] == 1
+        assert state["tag"] == 0  # open-domain fields default to 0
+
+    def test_pred_and_act(self, theory):
+        packet = FrozenDict(sw=2, dst=1)
+        trace = Trace.initial(packet)
+        assert theory.pred(FieldEq("sw", 2), trace)
+        assert not theory.pred(FieldEq("sw", 1), trace)
+        rewritten = theory.act(FieldAssign("dst", 2), packet)
+        assert rewritten["dst"] == 2 and rewritten["sw"] == 2
+
+    def test_foreign_primitives_rejected(self, theory):
+        from repro.theories.incnat import Gt, Incr
+
+        with pytest.raises(TheoryError):
+            theory.pred(Gt("x", 1), Trace.initial(FrozenDict()))
+        with pytest.raises(TheoryError):
+            theory.act(Incr("x"), FrozenDict())
+
+
+class TestPushback:
+    def test_write_then_read_same_value(self, theory):
+        assert theory.push_back(FieldAssign("sw", 2), FieldEq("sw", 2)) == [T.pone()]
+
+    def test_write_then_read_other_value(self, theory):
+        assert theory.push_back(FieldAssign("sw", 2), FieldEq("sw", 3)) == [T.pzero()]
+
+    def test_write_other_field_commutes(self, theory):
+        assert theory.push_back(FieldAssign("dst", 2), FieldEq("sw", 3)) == [
+            T.pprim(FieldEq("sw", 3))
+        ]
+
+    def test_subterms_empty(self, theory):
+        assert list(theory.subterms(FieldEq("sw", 1))) == []
+
+
+class TestSatisfiability:
+    def test_one_field_two_values_contradicts(self, theory):
+        assert not theory.satisfiable_conjunction(
+            [(FieldEq("sw", 1), True), (FieldEq("sw", 2), True)]
+        )
+
+    def test_positive_and_matching_negative_contradicts(self, theory):
+        assert not theory.satisfiable_conjunction(
+            [(FieldEq("sw", 1), True), (FieldEq("sw", 1), False)]
+        )
+
+    def test_finite_domain_exhaustion(self, theory):
+        """Excluding every value of a finite-domain field is unsatisfiable (PA-Match-All)."""
+        literals = [(FieldEq("dst", 1), False), (FieldEq("dst", 2), False)]
+        assert not theory.satisfiable_conjunction(literals)
+        # ... but excluding only one value is fine.
+        assert theory.satisfiable_conjunction([(FieldEq("dst", 1), False)])
+
+    def test_open_domain_never_exhausted(self, theory):
+        literals = [(FieldEq("tag", value), False) for value in range(10)]
+        assert theory.satisfiable_conjunction(literals)
+
+
+class TestParsing:
+    def test_phrases(self, theory):
+        from repro.core.parser import tokenize
+
+        def phrase(text):
+            return theory.parse_phrase(tokenize(text)[:-1])
+
+        assert phrase("sw = 2") == ("test", FieldEq("sw", 2))
+        assert phrase("dst <- 1") == ("action", FieldAssign("dst", 1))
+        assert phrase("tag = foo") == ("test", FieldEq("tag", "foo"))
+        with pytest.raises(ParseError):
+            phrase("sw := 2")
+
+    def test_parse_terms(self, kmt):
+        term = kmt.parse("sw = 1; dst <- 2; sw <- 2")
+        assert isinstance(term, T.Term)
+
+
+class TestNetKatLaws:
+    def test_pa_mod_filter_holds(self, kmt):
+        """f <- v ; f = v  ==  f <- v."""
+        assert kmt.equivalent("sw <- 2; sw = 2", "sw <- 2")
+
+    def test_pa_mod_comm_holds(self, kmt):
+        """f <- v ; f' = v'  ==  f' = v' ; f <- v for distinct fields."""
+        assert kmt.equivalent("sw <- 2; dst = 1", "dst = 1; sw <- 2")
+
+    def test_pa_contra_holds(self, kmt):
+        assert kmt.equivalent("sw = 1; sw = 2", "false")
+
+    def test_pa_match_all_holds(self, kmt):
+        """Σ_v f = v == 1 over the declared finite domain."""
+        assert kmt.equivalent("dst = 1 + dst = 2", "true")
+        assert not kmt.equivalent("sw = 1 + sw = 2", "true")  # sw also has value 3
+
+    def test_merging_laws_rejected_by_tracing_semantics(self, kmt):
+        """Section 2.5: the packet-merging NetKAT axioms do NOT hold here."""
+        # PA-Mod-Mod: f <- v; f <- v' == f <- v'
+        assert not kmt.equivalent("sw <- 1; sw <- 2", "sw <- 2")
+        # PA-Filter-Mod: f = v; f <- v == f = v
+        assert not kmt.equivalent("sw = 1; sw <- 1", "sw = 1")
+        # PA-Mod-Mod-Comm on distinct fields
+        assert not kmt.equivalent("sw <- 1; dst <- 2", "dst <- 2; sw <- 1")
+
+
+class TestNetworkVerification:
+    def test_reachability_in_logical_crossbar(self, kmt):
+        """A 2-switch line topology: packets at sw1 destined to host 2 reach sw2."""
+        policy = "(sw = 1; dst = 2; sw <- 2) + (sw = 2; dst = 1; sw <- 1)"
+        ingress = "sw = 1; dst = 2"
+        program = f"{ingress}; {policy}; sw = 2"
+        assert not kmt.is_empty(program)
+        # Packets for host 1 entering at switch 1 are dropped by the policy.
+        assert kmt.is_empty(f"sw = 1; dst = 1; {policy}; sw = 2")
+
+    def test_drop_all_firewall(self, kmt):
+        policy = "dst = 1; sw <- 3"
+        assert kmt.is_empty(f"dst = 2; {policy}")

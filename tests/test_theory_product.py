@@ -1,0 +1,125 @@
+"""Tests for disjoint products of theories (paper Fig. 3b, Section 2.2)."""
+
+import pytest
+
+from repro.core import terms as T
+from repro.core.kmt import KMT
+from repro.core.semantics import Trace
+from repro.theories.bitvec import BitVecTheory, BoolAssign, BoolEq
+from repro.theories.incnat import Gt, IncNatTheory, Incr
+from repro.theories.product import ProductTheory
+from repro.utils.errors import TheoryError
+from repro.utils.frozendict import FrozenDict
+
+
+@pytest.fixture
+def product():
+    return ProductTheory(IncNatTheory(variables=("x",)), BitVecTheory(variables=("a",)))
+
+
+@pytest.fixture
+def kmt(product):
+    return KMT(product)
+
+
+class TestOwnership:
+    def test_owns_both_sides(self, product):
+        assert product.owns_test(Gt("x", 1))
+        assert product.owns_test(BoolEq("a"))
+        assert product.owns_action(Incr("x"))
+        assert product.owns_action(BoolAssign("a", True))
+
+    def test_unknown_primitive_rejected(self, product):
+        class Alien:
+            pass
+
+        assert not product.owns_test(Alien())
+        with pytest.raises(TheoryError):
+            product.push_back(Alien(), Gt("x", 1))
+
+
+class TestSemantics:
+    def test_initial_state_is_pair(self, product):
+        left, right = product.initial_state()
+        assert left == FrozenDict(x=0)
+        assert right == FrozenDict(a=False)
+
+    def test_pred_projects_to_owner(self, product):
+        state = (FrozenDict(x=5), FrozenDict(a=True))
+        trace = Trace.initial(state)
+        assert product.pred(Gt("x", 3), trace)
+        assert product.pred(BoolEq("a"), trace)
+        assert not product.pred(Gt("x", 7), trace)
+
+    def test_act_updates_correct_component(self, product):
+        state = (FrozenDict(x=5), FrozenDict(a=True))
+        after_inc = product.act(Incr("x"), state)
+        assert after_inc[0]["x"] == 6 and after_inc[1]["a"] is True
+        after_assign = product.act(BoolAssign("a", False), state)
+        assert after_assign[0]["x"] == 5 and after_assign[1]["a"] is False
+
+
+class TestPushback:
+    def test_same_side_delegates(self, product):
+        assert product.push_back(Incr("x"), Gt("x", 2)) == [T.pprim(Gt("x", 1))]
+        assert product.push_back(BoolAssign("a", True), BoolEq("a")) == [T.pone()]
+
+    def test_mixed_sides_commute(self, product):
+        """L-R-Comm / R-L-Comm: an action of one side commutes with a test of the other."""
+        assert product.push_back(Incr("x"), BoolEq("a")) == [T.pprim(BoolEq("a"))]
+        assert product.push_back(BoolAssign("a", True), Gt("x", 2)) == [T.pprim(Gt("x", 2))]
+
+    def test_subterms_delegate(self, product):
+        assert set(product.subterms(Gt("x", 2))) == {T.pprim(Gt("x", 0)), T.pprim(Gt("x", 1))}
+        assert list(product.subterms(BoolEq("a"))) == []
+
+
+class TestSatisfiability:
+    def test_components_checked_independently(self, product):
+        assert product.satisfiable_conjunction(
+            [(Gt("x", 2), True), (BoolEq("a"), False)]
+        )
+        assert not product.satisfiable_conjunction(
+            [(Gt("x", 5), True), (Gt("x", 3), False), (BoolEq("a"), True)]
+        )
+        assert not product.satisfiable_conjunction(
+            [(BoolEq("a"), True), (BoolEq("a"), False)]
+        )
+
+
+class TestParsing:
+    def test_parse_tries_both_sides(self, kmt):
+        term = kmt.parse("x > 3; a = T; inc(x); a := F")
+        assert isinstance(term, T.Term)
+
+    def test_parse_failure_mentions_right_theory(self, kmt):
+        from repro.utils.errors import ParseError
+
+        with pytest.raises(ParseError):
+            kmt.parse("f <- 3")  # a NetKAT phrase neither component understands
+
+
+class TestEndToEnd:
+    def test_population_count(self, kmt):
+        """Fig. 9 row 6 (population count over naturals and booleans)."""
+        lhs = "x < 1; a = T; inc(x); (true + a = T; inc(x)); x > 1"
+        rhs = "x < 1; a = T; a = T; inc(x); inc(x)"
+        assert kmt.equivalent(lhs, rhs)
+
+    def test_cross_theory_commutation(self, kmt):
+        assert kmt.equivalent("inc(x); a = T", "a = T; inc(x)")
+        assert kmt.equivalent("a := T; x > 1", "x > 1; a := T")
+
+    def test_kozen_style_mixed_loop(self, kmt):
+        """Loops over boolean and numeric state (the Section 2.2 motivation)."""
+        program = "a := T; (a = T; x < 2; inc(x))*; ~(x < 2); a = T"
+        simplified = "a := T; (a = T; x < 2; inc(x))*; ~(x < 2)"
+        assert kmt.equivalent(program, simplified)
+
+    def test_nested_products(self):
+        nested = ProductTheory(
+            ProductTheory(IncNatTheory(variables=("x",)), BitVecTheory(variables=("a",))),
+            BitVecTheory(variables=("z",)),
+        )
+        kmt = KMT(nested)
+        assert kmt.equivalent("inc(x); z = T; a := T", "z = T; inc(x); a := T")

@@ -1,0 +1,168 @@
+"""Tests for the unbounded-set theory (paper Fig. 3c, Section 2.3)."""
+
+import pytest
+
+from repro.core import terms as T
+from repro.core.kmt import KMT
+from repro.core.semantics import Trace
+from repro.theories.incnat import Gt, IncNatTheory, Incr
+from repro.theories.sets import NatExpressionAdapter, SetAdd, SetIn, SetTheory
+from repro.utils.errors import ParseError
+from repro.utils.frozendict import FrozenDict
+
+
+@pytest.fixture
+def incnat():
+    return IncNatTheory(variables=("i", "j"))
+
+
+@pytest.fixture
+def adapter(incnat):
+    return NatExpressionAdapter(incnat, variables=("i", "j"))
+
+
+@pytest.fixture
+def theory(incnat, adapter):
+    return SetTheory(incnat, adapter, set_variables=("X",))
+
+
+@pytest.fixture
+def kmt(theory):
+    return KMT(theory)
+
+
+class TestAdapter:
+    def test_parse_expr(self, adapter):
+        assert adapter.parse_expr("i") == "i"
+        assert adapter.parse_expr("42") == 42
+
+    def test_eq_pred_variable(self, adapter, incnat):
+        assert adapter.eq_pred("i", 3) == incnat.eq("i", 3)
+
+    def test_eq_pred_constant(self, adapter):
+        assert adapter.eq_pred(5, 5) is T.pone()
+        assert adapter.eq_pred(4, 5) is T.pzero()
+
+    def test_eq_subterms_cover_declared_variables(self, adapter, incnat):
+        subs = adapter.eq_subterms(2)
+        assert incnat.eq("i", 2) in subs and incnat.eq("j", 2) in subs
+
+    def test_eval_expr(self, adapter):
+        state = FrozenDict(i=7)
+        assert adapter.eval_expr("i", state) == 7
+        assert adapter.eval_expr("missing", state) == 0
+        assert adapter.eval_expr(3, state) == 3
+
+
+class TestSemantics:
+    def test_initial_state(self, theory):
+        sets, inner = theory.initial_state()
+        assert sets == FrozenDict(X=frozenset())
+        assert inner == FrozenDict(i=0, j=0)
+
+    def test_add_and_membership(self, theory):
+        state = theory.initial_state()
+        state = theory.act(Incr("i"), state)          # i = 1
+        state = theory.act(SetAdd("X", "i"), state)   # X = {1}
+        trace = Trace.initial(state)
+        assert theory.pred(SetIn("X", 1), trace)
+        assert not theory.pred(SetIn("X", 0), trace)
+        assert theory.pred(Gt("i", 0), trace)
+
+    def test_add_constant_expression(self, theory):
+        state = theory.act(SetAdd("X", 9), theory.initial_state())
+        assert theory.pred(SetIn("X", 9), Trace.initial(state))
+
+
+class TestPushback:
+    def test_add_other_set_commutes(self, theory):
+        assert theory.push_back(SetAdd("Y", "i"), SetIn("X", 3)) == [T.pprim(SetIn("X", 3))]
+
+    def test_add_in_axiom(self, theory, incnat):
+        """Add-In: add(X, e); in(X, c) == ((e = c) + in(X, c)); add(X, e)."""
+        result = theory.push_back(SetAdd("X", "i"), SetIn("X", 3))
+        assert incnat.eq("i", 3) in result
+        assert T.pprim(SetIn("X", 3)) in result
+
+    def test_add_commutes_with_inner_tests(self, theory):
+        assert theory.push_back(SetAdd("X", "i"), Gt("i", 2)) == [T.pprim(Gt("i", 2))]
+
+    def test_inner_action_commutes_with_membership(self, theory):
+        assert theory.push_back(Incr("i"), SetIn("X", 3)) == [T.pprim(SetIn("X", 3))]
+
+    def test_inner_pair_delegates(self, theory):
+        assert theory.push_back(Incr("i"), Gt("i", 2)) == [T.pprim(Gt("i", 1))]
+
+    def test_subterms_of_membership_cover_equalities(self, theory, incnat):
+        subs = list(theory.subterms(SetIn("X", 2)))
+        assert incnat.eq("i", 2) in subs
+
+    def test_subterms_of_inner_test_delegate(self, theory):
+        assert T.pprim(Gt("i", 0)) in set(theory.subterms(Gt("i", 2)))
+
+
+class TestSatisfiability:
+    def test_membership_atoms_independent(self, theory):
+        assert theory.satisfiable_conjunction(
+            [(SetIn("X", 1), True), (SetIn("X", 2), False), (Gt("i", 3), True)]
+        )
+
+    def test_conflicting_membership(self, theory):
+        assert not theory.satisfiable_conjunction(
+            [(SetIn("X", 1), True), (SetIn("X", 1), False)]
+        )
+
+    def test_inner_conflict_detected(self, theory):
+        assert not theory.satisfiable_conjunction(
+            [(SetIn("X", 1), True), (Gt("i", 7), True), (Gt("i", 5), False)]
+        )
+        assert theory.satisfiable_conjunction(
+            [(SetIn("X", 1), True), (Gt("i", 5), True), (Gt("i", 7), False)]
+        )
+
+
+class TestParsing:
+    def test_phrases(self, theory):
+        from repro.core.parser import tokenize
+
+        def phrase(text):
+            return theory.parse_phrase(tokenize(text)[:-1])
+
+        assert phrase("in(X, 3)") == ("test", SetIn("X", 3))
+        assert phrase("add(X, i)") == ("action", SetAdd("X", "i"))
+        assert phrase("add(X, 9)") == ("action", SetAdd("X", 9))
+        assert phrase("i > 3") == ("test", Gt("i", 3))
+        with pytest.raises(ParseError):
+            phrase("del(X, i)")
+
+    def test_parse_term(self, kmt):
+        term = kmt.parse("(inc(i); add(X, i))*; i > 3; in(X, 3)")
+        assert isinstance(term, T.Term)
+
+
+class TestEndToEnd:
+    def test_paper_nonemptiness_claim(self, kmt):
+        """Section 2.3: (inc i; add(x,i))*; i > N; in(x, N) is non-empty."""
+        assert not kmt.is_empty("(inc(i); add(X, i))*; i > 4; in(X, 4)")
+
+    def test_added_value_is_member(self, kmt):
+        assert kmt.equivalent("i := 3; add(X, i); in(X, 3)", "i := 3; add(X, i)")
+
+    def test_added_value_other_constant_unconstrained(self, kmt):
+        """Membership of a different constant depends on the initial set."""
+        assert not kmt.equivalent("i := 3; add(X, i); in(X, 4)", "i := 3; add(X, i)")
+        assert not kmt.is_empty("i := 3; add(X, i); in(X, 4)")
+
+    def test_membership_persists(self, kmt):
+        """Sets only grow: once in(X, c) holds it keeps holding."""
+        assert kmt.equivalent(
+            "in(X, 2); inc(i); add(X, i); in(X, 2)", "in(X, 2); inc(i); add(X, i)"
+        )
+
+    def test_pset_like_program(self, kmt):
+        """A bounded analogue of Fig. 1(b): insert i while i < 3, then check membership."""
+        program = "i < 1; (i < 3; add(X, i); inc(i))*; ~(i < 3); in(X, 2)"
+        dropped_assert = "i < 1; (i < 3; add(X, i); inc(i))*; ~(i < 3)"
+        assert kmt.equivalent(program, dropped_assert)
+        missing = "i < 1; (i < 3; add(X, i); inc(i))*; ~(i < 3); in(X, 7)"
+        assert not kmt.equivalent(missing, dropped_assert)

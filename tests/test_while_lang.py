@@ -1,0 +1,217 @@
+"""Tests for the While-language frontend (paper Section 1.1, Fig. 1)."""
+
+import pytest
+
+from repro.core import terms as T
+from repro.core.kmt import KMT
+from repro.lang import (
+    Abort,
+    ActionStmt,
+    Assert,
+    Assume,
+    If,
+    Seq,
+    Skip,
+    While,
+    WhileProgram,
+    compile_program,
+    parse_program,
+)
+from repro.theories.bitvec import BitVecTheory
+from repro.theories.incnat import Gt, IncNatTheory, Incr
+from repro.theories.product import ProductTheory
+from repro.utils.errors import ParseError
+
+
+@pytest.fixture
+def nat():
+    return IncNatTheory(variables=("i", "j"))
+
+
+@pytest.fixture
+def kmt(nat):
+    return KMT(nat)
+
+
+class TestStatementCompilation:
+    def test_skip_and_abort(self):
+        assert Skip().compile() is T.tone()
+        assert Abort().compile() is T.tzero()
+
+    def test_assume_and_assert_compile_to_tests(self, nat):
+        pred = nat.gt("i", 3)
+        assert Assume(pred).compile() == T.ttest(pred)
+        assert Assert(pred).compile() == T.ttest(pred)
+
+    def test_action_statement(self, nat):
+        stmt = ActionStmt(nat.inc("i"))
+        assert stmt.compile() == nat.inc("i")
+
+    def test_seq_compiles_in_order(self, nat):
+        block = Seq([ActionStmt(nat.inc("i")), ActionStmt(nat.inc("j"))])
+        assert block.compile() == T.tseq(nat.inc("i"), nat.inc("j"))
+
+    def test_if_desugars_to_guarded_choice(self, nat):
+        cond = nat.gt("i", 0)
+        stmt = If(cond, ActionStmt(nat.inc("i")), ActionStmt(nat.inc("j")))
+        expected = T.tplus(
+            T.tseq(T.ttest(cond), nat.inc("i")),
+            T.tseq(T.ttest(T.pnot(cond)), nat.inc("j")),
+        )
+        assert stmt.compile() == expected
+
+    def test_if_without_else_uses_skip(self, nat):
+        cond = nat.gt("i", 0)
+        stmt = If(cond, ActionStmt(nat.inc("i")))
+        compiled = stmt.compile()
+        assert isinstance(compiled, T.TPlus)
+
+    def test_while_desugars_to_star(self, nat):
+        cond = nat.lt("i", 2)
+        stmt = While(cond, ActionStmt(nat.inc("i")))
+        expected = T.tseq(
+            T.tstar(T.tseq(T.ttest(cond), nat.inc("i"))), T.ttest(T.pnot(cond))
+        )
+        assert stmt.compile() == expected
+
+    def test_compile_program_helpers(self, nat):
+        stmt = ActionStmt(nat.inc("i"))
+        program = WhileProgram([stmt], nat)
+        assert compile_program(program) == nat.inc("i")
+        assert compile_program(stmt) == nat.inc("i")
+        with pytest.raises(TypeError):
+            compile_program("not a program")
+
+    def test_pretty_rendering(self, nat):
+        program = WhileProgram(
+            [Assume(nat.lt("i", 2)), While(nat.lt("i", 4), Seq([ActionStmt(nat.inc("i"))]))],
+            nat,
+        )
+        rendered = program.pretty()
+        assert "assume" in rendered and "while" in rendered
+        assert "WhileProgram" in repr(program)
+
+
+class TestParsing:
+    def test_parse_simple_program(self, nat):
+        program = parse_program("assume i < 2; inc(i); assert i > 0;", nat)
+        term = program.compile()
+        assert isinstance(term, T.TSeq)
+
+    def test_parse_if_else_blocks(self, nat):
+        source = """
+        if (i > 0) {
+            inc(j);
+        } else {
+            inc(i);
+        }
+        """
+        program = parse_program(source, nat)
+        assert isinstance(program.body.statements[0], If)
+
+    def test_parse_while_block(self, nat):
+        source = "while (i < 3) { inc(i); inc(j); }"
+        program = parse_program(source, nat)
+        loop = program.body.statements[0]
+        assert isinstance(loop, While)
+        assert isinstance(loop.body, Seq)
+        assert len(loop.body.statements) == 2
+
+    def test_parse_nested_control_flow(self, nat):
+        source = """
+        assume i < 1;
+        while (i < 4) {
+            if (j > 1) { inc(i); } else { inc(j); }
+        }
+        """
+        program = parse_program(source, nat)
+        loop = program.body.statements[1]
+        assert isinstance(loop, While)
+        assert isinstance(loop.body.statements[0], If)
+
+    def test_skip_and_abort_statements(self, nat):
+        program = parse_program("skip; abort;", nat)
+        kinds = [type(s) for s in program.body.statements]
+        assert kinds == [Skip, Abort]
+
+    def test_unknown_statement_is_parse_error(self, nat):
+        with pytest.raises(ParseError):
+            parse_program("frobnicate the widget;", nat)
+
+    def test_unbalanced_brace_is_parse_error(self, nat):
+        with pytest.raises(ParseError):
+            parse_program("while (i < 2) { inc(i);", nat)
+
+    def test_missing_condition_is_parse_error(self, nat):
+        with pytest.raises(ParseError):
+            parse_program("while () { inc(i); }", nat)
+
+
+class TestFig1Programs:
+    def test_pnat_program_compiles_and_verifies(self, nat, kmt):
+        """Fig. 1(a), scaled down: assume i<1; while (i<3) {inc i; inc j; inc j}; assert j>1."""
+        source = """
+        assume i < 1;
+        while (i < 3) {
+            inc(i); inc(j); inc(j);
+        }
+        assert j > 1;
+        """
+        program = parse_program(source, nat)
+        term = program.compile()
+        without_assert = parse_program(
+            """
+            assume i < 1;
+            while (i < 3) {
+                inc(i); inc(j); inc(j);
+            }
+            """,
+            nat,
+        ).compile()
+        # The assert never fires: the loop adds at least 6 to j.
+        assert kmt.equivalent(term, without_assert)
+        # A too-strong assert does change the program.
+        too_strong = T.tseq(without_assert, T.ttest(nat.gt("j", 9)))
+        assert not kmt.equivalent(too_strong, without_assert)
+
+    def test_loop_unfolding_equivalence(self, nat, kmt):
+        """Section 1.1: the while loop equals its unfolding."""
+        source = "while (i < 2) { inc(i); }"
+        loop = parse_program(source, nat).compile()
+        guard = nat.lt("i", 2)
+        body = nat.inc("i")
+        unfolded = T.tseq(
+            T.tplus(
+                T.tone(),
+                T.tseq(T.tseq(T.ttest(guard), body), T.tstar(T.tseq(T.ttest(guard), body))),
+            ),
+            T.ttest(T.pnot(guard)),
+        )
+        assert kmt.equivalent(loop, unfolded)
+
+    def test_product_theory_program(self):
+        theory = ProductTheory(IncNatTheory(variables=("i",)), BitVecTheory(variables=("done",)))
+        kmt = KMT(theory)
+        source = """
+        assume i < 1;
+        done := F;
+        while (i < 2) {
+            inc(i);
+        }
+        done := T;
+        assert done = T;
+        """
+        program = parse_program(source, theory)
+        term = program.compile()
+        stripped = parse_program(
+            """
+            assume i < 1;
+            done := F;
+            while (i < 2) {
+                inc(i);
+            }
+            done := T;
+            """,
+            theory,
+        ).compile()
+        assert kmt.equivalent(term, stripped)
