@@ -1,0 +1,143 @@
+"""Cold one-shot KMT vs. warm EngineSession on repeated equivalence workloads.
+
+The engine's pitch is amortization: repeated and overlapping queries — the
+dominant pattern for a served workload — should reuse normalization, oracle
+and automata work instead of re-deriving everything per query.  This harness
+measures exactly that, across three theories:
+
+* **cold** — a fresh :class:`~repro.core.kmt.KMT` per query with the shared
+  derivative cache disabled, i.e. the seed's one-shot pipeline;
+* **warm** — one persistent :class:`~repro.engine.session.EngineSession`
+  answering the same query stream.
+
+Run directly to emit the ``BENCH_engine.json`` artifact at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_engine_cache.py
+
+Also collectable with pytest (``test_warm_session_speedup``) as a regression
+guard on the speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core import automata
+from repro.core.kmt import KMT
+from repro.engine.session import EngineSession
+from repro.theories import build_theory
+
+#: Per theory: a small pool of equivalence queries, cycled ``REPEATS`` times —
+#: the "repeated/overlapping queries" shape the engine exists for.
+WORKLOADS = {
+    "incnat": [
+        ("inc(x); x > 1", "x > 0; inc(x)"),
+        ("inc(x)*; x > 4", "inc(x)*; inc(x)*; x > 4"),
+        ("x > 2; inc(x)", "x > 2; x > 1; inc(x)"),
+        ("inc(x); inc(x); x > 2", "x > 0; inc(x); inc(x)"),
+        ("x > 1", "x > 2"),
+    ],
+    "bitvec": [
+        ("a := T; a = T", "a := T"),
+        ("flip a; flip a; a = T", "a = T; flip a; flip a"),
+        ("(a := T)*; a = T", "(a := T)*; a := T; a = T + a = T"),
+        ("a := F; a = T", "a := F; a = T; a = T"),
+        ("a = T + ~(a = T)", "1"),
+    ],
+    "netkat": [
+        ("sw <- 1; sw = 1", "sw <- 1"),
+        ("sw = 1; sw <- 2", "sw = 1; sw <- 2; sw = 2"),
+        ("sw <- 1 + sw <- 2", "sw <- 2 + sw <- 1"),
+        ("sw = 1; sw = 2", "drop"),
+        ("(sw <- 1)*; sw = 1", "(sw <- 1)*; sw <- 1"),
+    ],
+}
+
+REPEATS = 20  # 5 pairs x 20 = 100 queries per theory
+
+
+def _queries(theory_name):
+    return WORKLOADS[theory_name] * REPEATS
+
+
+def run_cold(theory_name):
+    """One-shot pipeline: fresh KMT per query, no shared caches."""
+    saved = automata.get_derivative_cache()
+    automata.set_derivative_cache(None)
+    try:
+        started = time.perf_counter()
+        verdicts = []
+        for left, right in _queries(theory_name):
+            kmt = KMT(build_theory(theory_name))
+            verdicts.append(kmt.equivalent(left, right))
+        return time.perf_counter() - started, verdicts
+    finally:
+        automata.set_derivative_cache(saved)
+
+
+def run_warm(theory_name):
+    """One persistent session answering the same query stream."""
+    session = EngineSession(build_theory(theory_name))
+    started = time.perf_counter()
+    verdicts = [session.equivalent(left, right) for left, right in _queries(theory_name)]
+    return time.perf_counter() - started, verdicts, session
+
+
+def run_theory(theory_name):
+    cold_seconds, cold_verdicts = run_cold(theory_name)
+    warm_seconds, warm_verdicts, session = run_warm(theory_name)
+    if cold_verdicts != warm_verdicts:
+        raise AssertionError(f"cold/warm verdicts disagree for {theory_name!r}")
+    queries = len(cold_verdicts)
+    stats = session.stats()
+    return {
+        "queries": queries,
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "speedup": round(cold_seconds / warm_seconds, 2) if warm_seconds else float("inf"),
+        "cold_qps": round(queries / cold_seconds, 1) if cold_seconds else float("inf"),
+        "warm_qps": round(queries / warm_seconds, 1) if warm_seconds else float("inf"),
+        "warm_cache_hit_rates": {
+            name: table["hit_rate"] for name, table in stats["tables"].items()
+        },
+    }
+
+
+def run_all():
+    results = {name: run_theory(name) for name in WORKLOADS}
+    return {
+        "benchmark": "engine_cache",
+        "description": "cold one-shot KMT vs warm EngineSession, repeated equivalence queries",
+        "repeats": REPEATS,
+        "theories": results,
+        "best_speedup": max(r["speedup"] for r in results.values()),
+    }
+
+
+def main():
+    report = run_all()
+    artifact = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_engine.json")
+    artifact = os.path.normpath(artifact)
+    with open(artifact, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"# wrote {artifact}")
+    return 0 if report["best_speedup"] >= 3.0 else 1
+
+
+def test_warm_session_speedup():
+    """Warm sessions must beat cold one-shot KMT clearly on some theory.
+
+    The acceptance bar is 3x; assert a softer 1.5x here so the regression
+    guard is robust to noisy CI machines, and leave the full report to
+    ``python benchmarks/bench_engine_cache.py``.
+    """
+    report = run_all()
+    assert report["best_speedup"] >= 1.5
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ The public API re-exports:
 
 from repro.core.kmt import KMT
 from repro.core import terms
+from repro.engine.session import EngineSession
 from repro.core.terms import (
     pand,
     pnot,
@@ -46,6 +47,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "KMT",
+    "EngineSession",
     "terms",
     "BitVecTheory",
     "IncNatTheory",

@@ -6,9 +6,14 @@ Usage (installed as the ``kmt`` console script, also ``python -m repro``)::
     kmt norm    --theory bitvec "x = F; (flip x; flip x)*"
     kmt sat     --theory incnat "x > 5; ~(x > 3)"
     kmt classes --theory incnat terms.txt        # one term per line, '#' comments
+    kmt batch   queries.jsonl                    # JSONL batch over engine sessions
+    kmt serve                                    # stdin/stdout JSONL serve loop
 
 ``classes`` mirrors the paper's command-line tool: given KMT terms in some
-supported theory, it partitions them into equivalence classes.
+supported theory, it partitions them into equivalence classes.  ``batch`` and
+``serve`` run the :mod:`repro.engine` front end: persistent per-theory
+sessions with memoized normalization/decision caches (see the module docs of
+:mod:`repro.engine.batch` for the request/response schema).
 """
 
 from __future__ import annotations
@@ -19,36 +24,8 @@ import time
 
 from repro.core.kmt import KMT
 from repro.core.pretty import pretty_normal_form
-from repro.theories.bitvec import BitVecTheory
-from repro.theories.incnat import IncNatTheory
-from repro.theories.ltlf import LtlfTheory
-from repro.theories.netkat import NetKatTheory
-from repro.theories.product import ProductTheory
-from repro.theories.temporal_netkat import temporal_netkat
+from repro.theories import build_theory  # noqa: F401  (re-exported; tests import it here)
 from repro.utils.errors import KmtError
-
-
-def build_theory(name):
-    """Construct one of the named theory presets used by the CLI."""
-    name = name.lower()
-    if name in ("incnat", "nat", "n"):
-        return IncNatTheory()
-    if name in ("bitvec", "bool", "b"):
-        return BitVecTheory()
-    if name in ("netkat",):
-        return NetKatTheory()
-    if name in ("product", "natbool", "nxb"):
-        return ProductTheory(IncNatTheory(), BitVecTheory())
-    if name in ("ltlf-nat", "ltlf"):
-        return LtlfTheory(IncNatTheory())
-    if name in ("ltlf-bool",):
-        return LtlfTheory(BitVecTheory())
-    if name in ("temporal-netkat", "tnetkat"):
-        return temporal_netkat()
-    raise KmtError(
-        f"unknown theory {name!r}; available: incnat, bitvec, netkat, product, "
-        "ltlf-nat, ltlf-bool, temporal-netkat"
-    )
 
 
 def _make_kmt(args):
@@ -115,6 +92,44 @@ def cmd_run(args):
     return 0
 
 
+def cmd_batch(args):
+    import json
+
+    from repro.engine.batch import BatchRunner
+
+    runner = BatchRunner(default_theory=args.theory, budget=args.budget, jobs=args.jobs)
+    if args.file == "-":
+        lines = sys.stdin.readlines()
+    else:
+        try:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError as error:
+            print(f"error: cannot read batch file: {error}", file=sys.stderr)
+            return 2
+    started = time.perf_counter()
+    responses = runner.run_lines(lines)
+    elapsed = time.perf_counter() - started
+    for response in responses:
+        print(json.dumps(response, sort_keys=True))
+    failures = sum(1 for response in responses if not response.get("ok"))
+    print(
+        f"# {len(responses)} responses ({failures} errors) in {elapsed:.3f}s",
+        file=sys.stderr,
+    )
+    if args.stats:
+        print(json.dumps(runner.pool.stats(), indent=2, sort_keys=True), file=sys.stderr)
+    return 0 if failures == 0 else 1
+
+
+def cmd_serve(args):
+    from repro.engine.batch import serve
+
+    served = serve(sys.stdin, sys.stdout, default_theory=args.theory, budget=args.budget)
+    print(f"# served {served} requests", file=sys.stderr)
+    return 0
+
+
 def make_arg_parser():
     parser = argparse.ArgumentParser(
         prog="kmt",
@@ -153,6 +168,24 @@ def make_arg_parser():
     run = sub.add_parser("run", help="run a term from the theory's initial state")
     run.add_argument("term")
     run.set_defaults(func=cmd_run)
+
+    batch = sub.add_parser(
+        "batch", help="run a JSONL batch of queries over cached engine sessions"
+    )
+    batch.add_argument("file", help="JSONL file of requests, or '-' for stdin")
+    batch.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker threads (default: one per distinct theory in the batch)",
+    )
+    batch.add_argument(
+        "--stats", action="store_true", help="dump cache hit/miss stats to stderr"
+    )
+    batch.set_defaults(func=cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="read JSONL requests from stdin, answer on stdout until EOF"
+    )
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

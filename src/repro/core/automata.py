@@ -109,9 +109,41 @@ def _flatten_seq(m, out):
         out.append(m)
 
 
+#: Optional dict-like memo for :func:`derivative` with ``get(key, default)``
+#: and ``put(key, value)`` methods (the engine layer installs a bounded,
+#: thread-safe LRU here).  ``None`` means no caching — the seed behaviour.
+_DERIVATIVE_CACHE = None
+
+_CACHE_MISS = object()
+
+
+def set_derivative_cache(cache):
+    """Install (or with ``None`` remove) the shared derivative memo table.
+
+    Derivatives are pure functions of hash-consed terms, so a process-wide
+    cache is semantically transparent; it exists because the same derivative
+    states are recomputed constantly across cells, queries and sessions.
+    """
+    global _DERIVATIVE_CACHE
+    _DERIVATIVE_CACHE = cache
+
+
+def get_derivative_cache():
+    return _DERIVATIVE_CACHE
+
+
 def derivative(m, pi):
     """The ACI-canonical Brzozowski derivative of ``m`` w.r.t. primitive action ``pi``."""
-    return canonical(_derivative_raw(m, pi))
+    cache = _DERIVATIVE_CACHE
+    if cache is None:
+        return canonical(_derivative_raw(m, pi))
+    key = (m, pi)
+    cached = cache.get(key, _CACHE_MISS)
+    if cached is not _CACHE_MISS:
+        return cached
+    result = canonical(_derivative_raw(m, pi))
+    cache.put(key, result)
+    return result
 
 
 def _derivative_raw(m, pi):
@@ -199,35 +231,49 @@ class _UnionFind:
         return True
 
 
-def language_equivalent(m, n, max_states=None):
-    """Decide ``R(m) == R(n)`` with Hopcroft–Karp over Brzozowski derivatives.
+def language_compare(m, n, max_states=None):
+    """Decide ``R(m) == R(n)`` and produce a witness in a single pass.
+
+    Runs Hopcroft–Karp over Brzozowski derivatives once, threading the access
+    word of every state pair through the worklist.  Returns
+    ``(equivalent, word)``: ``(True, None)`` when the languages agree, and
+    otherwise ``(False, w)`` where ``w`` is a word of primitive actions
+    accepted by exactly one side (a genuine distinguishing word, though not
+    necessarily a shortest one — use :func:`counterexample_word` for that).
 
     ``max_states`` optionally bounds the number of explored state pairs as a
     safety valve (derivatives modulo the smart-constructor rewrites are finite,
     so the default of no bound terminates).
-    Returns ``True``/``False``.
     """
     if not T.is_restricted(m) or not T.is_restricted(n):
-        raise KmtError("language_equivalent expects restricted actions")
+        raise KmtError("language_compare expects restricted actions")
     m, n = canonical(m), canonical(n)
     sigma = sorted(alphabet(m, n), key=repr)
     uf = _UnionFind()
     uf.union(("L", m), ("R", n))
-    queue = deque([(m, n)])
+    queue = deque([((), m, n)])
     explored = 0
     while queue:
-        p, q = queue.popleft()
+        word, p, q = queue.popleft()
         explored += 1
         if max_states is not None and explored > max_states:
-            raise KmtError(f"language_equivalent exceeded {max_states} state pairs")
+            raise KmtError(f"language_compare exceeded {max_states} state pairs")
         if nullable(p) != nullable(q):
-            return False
+            return False, word
         for pi in sigma:
             dp = derivative(p, pi)
             dq = derivative(q, pi)
             if uf.union(("L", dp), ("R", dq)):
-                queue.append((dp, dq))
-    return True
+                queue.append((word + (pi,), dp, dq))
+    return True, None
+
+
+def language_equivalent(m, n, max_states=None):
+    """Decide ``R(m) == R(n)`` (see :func:`language_compare`).
+
+    Returns ``True``/``False``.
+    """
+    return language_compare(m, n, max_states=max_states)[0]
 
 
 def counterexample_word(m, n, max_length=16):

@@ -28,9 +28,11 @@ unpruned variant is kept for the ablation benchmark.
 from __future__ import annotations
 
 from repro.core import terms as T
-from repro.core.automata import counterexample_word, language_equivalent, language_is_empty
+from repro.core.automata import language_compare, language_is_empty
 from repro.core.pushback import DEFAULT_BUDGET, Normalizer
 from repro.smt.literals import evaluate
+
+_CACHE_MISS = object()
 
 
 class Counterexample:
@@ -82,12 +84,23 @@ class EquivalenceResult:
 
 
 class EquivalenceChecker:
-    """Decides equivalence, ordering and emptiness of KMT terms for one theory."""
+    """Decides equivalence, ordering and emptiness of KMT terms for one theory.
 
-    def __init__(self, theory, budget=DEFAULT_BUDGET, prune_unsat_cells=True):
+    ``caches`` is an optional engine-layer bundle
+    (:class:`repro.engine.cache.EngineCaches`, duck-typed so the core stays
+    independent of the engine package) providing bounded LRU memo tables for
+    satisfiable-conjunction oracle calls, predicate satisfiability, and
+    pairwise normal-form equivalence verdicts.  Without it the checker keeps a
+    private unbounded memo for the conjunction oracle, which already pays off
+    across the many overlapping cell searches of a single ``partition`` call.
+    """
+
+    def __init__(self, theory, budget=DEFAULT_BUDGET, prune_unsat_cells=True, caches=None):
         self.theory = theory
         self.budget = budget
         self.prune_unsat_cells = prune_unsat_cells
+        self.caches = caches
+        self._sat_memo = {}
 
     # ------------------------------------------------------------------
     # normalization helpers
@@ -110,15 +123,39 @@ class EquivalenceChecker:
 
     def check_equivalent_nf(self, x, y):
         """Compare two already-normalized terms."""
+        equiv_cache = self.caches.equiv if self.caches is not None else None
+        key = None
+        if equiv_cache is not None:
+            key = self.caches.nf_pair_key(x, y)
+            cached = equiv_cache.get(key, _CACHE_MISS)
+            if cached is not _CACHE_MISS:
+                return cached
+            # Equivalence is symmetric; a positive verdict for (y, x) carries
+            # over directly (a counterexample would need its sides swapped, so
+            # negative verdicts are only reused in the queried orientation).
+            mirrored = equiv_cache.get(self.caches.nf_pair_key(y, x), _CACHE_MISS)
+            if mirrored is not _CACHE_MISS and mirrored.equivalent:
+                return mirrored
         atoms = _collect_atoms(x, y)
-        search = _CellSearch(self.theory, atoms, x, y, self.prune_unsat_cells)
+        search = _CellSearch(
+            self.theory, atoms, x, y, self.prune_unsat_cells,
+            sat_memo=self._conjunction_memo(),
+        )
         counterexample = search.run()
-        return EquivalenceResult(
+        result = EquivalenceResult(
             equivalent=counterexample is None,
             counterexample=counterexample,
             cells_explored=search.cells_explored,
             cells_pruned=search.cells_pruned,
         )
+        if equiv_cache is not None:
+            equiv_cache.put(key, result)
+        return result
+
+    def _conjunction_memo(self):
+        if self.caches is not None:
+            return self.caches.sat_conj
+        return self._sat_memo
 
     # ------------------------------------------------------------------
     # derived queries
@@ -133,14 +170,24 @@ class EquivalenceChecker:
         A normal form is empty iff every summand is ruled out: either its test
         is unsatisfiable or its restricted action denotes the empty language.
         """
-        x = self.normalize(p)
+        return self.is_empty_nf(self.normalize(p))
+
+    def is_empty_nf(self, x):
+        """Emptiness of an already-normalized term (see :meth:`is_empty`)."""
         for test, action in x.pairs:
-            if not self.theory.satisfiable(test):
+            if not self._satisfiable_pred(test):
                 continue
             if language_is_empty(action):
                 continue
             return False
         return True
+
+    def _satisfiable_pred(self, test):
+        if self.caches is None:
+            return self.theory.satisfiable(test)
+        return self.caches.sat_pred.get_or_compute(
+            self.caches.pred_key(test), lambda: self.theory.satisfiable(test)
+        )
 
     def partition(self, terms):
         """Partition a list of terms into equivalence classes.
@@ -148,9 +195,12 @@ class EquivalenceChecker:
         Mirrors the paper's command-line tool.  Returns a list of lists of
         indices into ``terms``.
         """
+        return self.partition_nfs([self.normalize(term) for term in terms])
+
+    def partition_nfs(self, nfs):
+        """Greedy classing of already-normalized terms (see :meth:`partition`)."""
         classes = []  # list of (representative normal form, [indices])
-        for idx, term in enumerate(terms):
-            nf = self.normalize(term)
+        for idx, nf in enumerate(nfs):
             placed = False
             for rep_nf, members in classes:
                 if self.check_equivalent_nf(nf, rep_nf).equivalent:
@@ -178,28 +228,51 @@ def _collect_atoms(x, y):
 
 
 class _CellSearch:
-    """Recursive enumeration of primitive-test cells with consistency pruning."""
+    """Recursive enumeration of primitive-test cells with consistency pruning.
 
-    def __init__(self, theory, atoms, x, y, prune):
+    ``sat_memo`` memoizes the theory's ``satisfiable_conjunction`` oracle,
+    keyed by the *set* of literals (satisfiability is order-independent).  The
+    same conjunctions recur constantly across the cell searches of sibling
+    queries — most visibly in ``partition`` and in warm engine sessions — so
+    the memo is shared at the checker/engine level; a plain dict or any
+    ``get``/``put`` mapping (e.g. a bounded LRU) works.
+    """
+
+    def __init__(self, theory, atoms, x, y, prune, sat_memo=None):
         self.theory = theory
         self.atoms = atoms
         self.x = x
         self.y = y
         self.prune = prune
+        self.sat_memo = {} if sat_memo is None else sat_memo
         self.cells_explored = 0
         self.cells_pruned = 0
 
     def run(self):
         return self._go(0, [])
 
+    def _satisfiable(self, literals):
+        key = frozenset(literals)
+        memo = self.sat_memo
+        cached = memo.get(key, _CACHE_MISS)
+        if cached is not _CACHE_MISS:
+            return cached
+        value = self.theory.satisfiable_conjunction(literals)
+        put = getattr(memo, "put", None)
+        if put is not None:
+            put(key, value)
+        else:
+            memo[key] = value
+        return value
+
     def _go(self, index, literals):
         if self.prune and literals:
-            if not self.theory.satisfiable_conjunction(literals):
+            if not self._satisfiable(literals):
                 self.cells_pruned += 1
                 return None
         if index == len(self.atoms):
             if not self.prune and literals:
-                if not self.theory.satisfiable_conjunction(literals):
+                if not self._satisfiable(literals):
                     self.cells_pruned += 1
                     return None
             return self._compare_cell(literals)
@@ -223,7 +296,7 @@ class _CellSearch:
             for test, action in self.y.sorted_pairs()
             if evaluate(test, assignment)
         )
-        if language_equivalent(left, right):
+        equivalent, word = language_compare(left, right)
+        if equivalent:
             return None
-        word = counterexample_word(left, right)
         return Counterexample(literals, left, right, word)

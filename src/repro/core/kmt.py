@@ -25,11 +25,12 @@ from repro.utils.errors import KmtError
 class KMT:
     """A Kleene algebra modulo the given client theory."""
 
-    def __init__(self, theory, budget=DEFAULT_BUDGET, prune_unsat_cells=True):
+    def __init__(self, theory, budget=DEFAULT_BUDGET, prune_unsat_cells=True, caches=None):
         self.theory = theory
         self.budget = budget
+        self.caches = caches
         self.checker = EquivalenceChecker(
-            theory, budget=budget, prune_unsat_cells=prune_unsat_cells
+            theory, budget=budget, prune_unsat_cells=prune_unsat_cells, caches=caches
         )
         theory.attach(self)
 

@@ -59,7 +59,9 @@ def canonicalize_test(pred):
 class NormalForm:
     """An immutable normal form: a set of ``(test, restricted-action)`` pairs."""
 
-    __slots__ = ("pairs", "_hash")
+    # ``_fp`` caches the engine layer's fingerprint key (see
+    # :func:`repro.engine.intern.fingerprint_normal_form`); unused by the core.
+    __slots__ = ("pairs", "_hash", "_fp")
 
     def __init__(self, pairs, validate=True):
         cleaned = set()

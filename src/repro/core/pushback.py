@@ -78,6 +78,18 @@ class Normalizer:
     # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
+    def reset_stats(self):
+        """Start a fresh stats window (and budget) while keeping memo tables.
+
+        A long-lived normalizer — the engine's per-session instance — calls
+        this between queries so the step budget applies per query rather than
+        to the session's lifetime, while ``_pb_star_cache`` / ``_pb_prim_cache``
+        keep amortizing work across queries.  Returns the previous stats.
+        """
+        previous = self.stats
+        self.stats = NormalizationStats()
+        return previous
+
     def _tick(self):
         self.stats.steps += 1
         if self.budget is not None and self.stats.steps > self.budget:
@@ -297,16 +309,22 @@ class Normalizer:
         x1, x2 = x.split(a, self.ctx)
 
         if x2.is_vacuous():
-            # x == a·x1
-            if self.ctx.lt(x1.tests(), {a}):
+            # x == a·x1.  Push a through x1 first (w ≡ x1·a as a normal form)
+            # and pick the branch by looking at the *pushed* tests: sliding
+            # recurses on w, so its guard must be that w's tests sit strictly
+            # below a — guarding on x1's tests (as an earlier revision did) is
+            # unsound when pushback returns a unchanged (e.g. a test that
+            # commutes with every action of x1), which made pb_star re-enter
+            # on the same normal form and fail for terms like (b := T + a = T)*.
+            w = self.pb_test(x1, a)
+            if self.ctx.lt(w.tests(), {a}):
                 # Slide: (a·x1)* == 1 + a·((x1·a pushed)* · x1)
-                y = self.pb_test(x1, a)
-                y_star = self.pb_star(y)
+                y_star = self.pb_star(w)
                 z = self.pb_join(y_star, x1)
                 return NormalForm.one().union(z.prefix_test(a))
-            # Expand
+            # Expand: split w around a, i.e. x1·a == a·t + u, and use
+            # (a·x1)* == 1 + a·(t + u)*·x1.
             self.stats.star_expansions += 1
-            w = self.pb_test(x1, a)
             if a in self.ctx.mt(w.tests()):
                 t, u = w.split(a, self.ctx)
             else:

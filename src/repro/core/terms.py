@@ -74,6 +74,18 @@ class hash_consing_disabled:
 
 _INTERN_TABLE = {}
 
+#: Optional callback invoked on every node the moment it is interned.  The
+#: engine layer (:mod:`repro.engine.intern`) installs a hook here so freshly
+#: constructed nodes get a stable fingerprint id eagerly instead of on first
+#: cache lookup; the core never depends on the hook being present.
+_INTERN_HOOK = None
+
+
+def set_intern_hook(hook):
+    """Install (or with ``None`` remove) the post-intern callback."""
+    global _INTERN_HOOK
+    _INTERN_HOOK = hook
+
 
 def clear_intern_table():
     """Drop all interned nodes (used by tests to bound memory)."""
@@ -88,6 +100,8 @@ def _intern(node):
     if existing is not None:
         return existing
     _INTERN_TABLE[key] = node
+    if _INTERN_HOOK is not None:
+        _INTERN_HOOK(node)
     return node
 
 
@@ -99,7 +113,9 @@ def _intern(node):
 class Pred:
     """Base class for KAT predicates (tests)."""
 
-    __slots__ = ("_hash", "size")
+    # ``_fp`` is the engine layer's stable fingerprint id; it is assigned
+    # lazily (or eagerly via the intern hook) and never read by the core.
+    __slots__ = ("_hash", "size", "_fp")
 
     def _key(self):
         raise NotImplementedError
@@ -363,7 +379,7 @@ def por_all(preds):
 class Term:
     """Base class for KAT actions."""
 
-    __slots__ = ("_hash", "size")
+    __slots__ = ("_hash", "size", "_fp")
 
     def _key(self):
         raise NotImplementedError

@@ -1,0 +1,37 @@
+"""The query engine: a persistent, reusable layer over the one-shot core.
+
+The core (:mod:`repro.core`) faithfully reproduces the paper's pipeline —
+``KMT`` facade → ``Normalizer`` → ``EquivalenceChecker`` — but every query
+re-normalizes and re-derives automata from scratch.  The engine amortizes
+that work across queries:
+
+* :mod:`repro.engine.intern` — stable fingerprint ids for hash-consed terms,
+  predicates and normal forms (the cache keys everything else is built on);
+* :mod:`repro.engine.cache` — bounded, thread-safe LRU memo tables with
+  hit/miss accounting, bundled per concern (normalization, derivatives,
+  satisfiability, equivalence verdicts);
+* :mod:`repro.engine.session` — :class:`EngineSession`, a long-lived wrapper
+  around :class:`~repro.core.kmt.KMT` that threads the caches through the
+  normalizer, the cell search and the automata module;
+* :mod:`repro.engine.batch` — a JSONL batch protocol plus a stdin/stdout
+  serve loop, dispatching work across per-theory sessions on a
+  ``concurrent.futures`` pool.
+"""
+
+from repro.engine.cache import CacheStats, EngineCaches, LRUCache
+from repro.engine.intern import fingerprint, fingerprint_normal_form
+from repro.engine.session import EngineSession
+from repro.engine.batch import BatchRunner, SessionPool, run_batch_lines, serve
+
+__all__ = [
+    "BatchRunner",
+    "CacheStats",
+    "EngineCaches",
+    "EngineSession",
+    "LRUCache",
+    "SessionPool",
+    "fingerprint",
+    "fingerprint_normal_form",
+    "run_batch_lines",
+    "serve",
+]

@@ -1,0 +1,257 @@
+"""JSONL batch protocol and serve loop over per-theory engine sessions.
+
+One request per line, one JSON response per line, order preserved::
+
+    {"op": "equiv", "theory": "incnat", "left": "inc(x); x > 1", "right": "x > 0; inc(x)"}
+    {"op": "norm",  "theory": "bitvec", "term": "(flip a)*; a = T"}
+    {"op": "sat",   "pred": "x > 3; ~(x > 5)"}
+    {"op": "empty", "term": "x > 3; ~(x > 3)"}
+    {"op": "leq",   "left": "inc(x)", "right": "inc(x) + inc(y)"}
+
+Responses echo ``op``/``theory`` plus the request's ``id`` (defaulting to the
+0-based line number) and carry either ``"ok": true`` with a ``result`` object
+or ``"ok": false`` with an ``error`` string — malformed lines produce error
+records instead of aborting the batch.
+
+Batches are dispatched across a ``concurrent.futures`` thread pool with
+*session affinity*: requests are grouped by theory and each group runs on its
+theory's persistent :class:`~repro.engine.session.EngineSession`, so duplicate
+and overlapping queries inside a batch hit the session caches instead of
+re-normalizing.  The serve loop (``repro serve``) reads the same protocol from
+stdin and answers on stdout, keeping one session pool alive for the whole
+conversation; the extra ops ``{"op": "stats"}`` and ``{"op": "ping"}`` expose
+cache accounting and liveness.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.pretty import pretty_normal_form
+from repro.core.pushback import DEFAULT_BUDGET
+from repro.engine.session import EngineSession
+from repro.theories import build_theory
+from repro.utils.errors import KmtError
+
+#: Ops that dispatch to a theory session.
+QUERY_OPS = ("equiv", "leq", "norm", "sat", "empty")
+#: Control ops understood by the serve loop (and harmlessly by batches).
+CONTROL_OPS = ("stats", "ping")
+
+DEFAULT_THEORY = "incnat"
+
+
+class SessionPool:
+    """Lazily-built, persistent :class:`EngineSession` per theory preset."""
+
+    def __init__(self, budget=DEFAULT_BUDGET, prune_unsat_cells=True):
+        self.budget = budget
+        self.prune_unsat_cells = prune_unsat_cells
+        self._sessions = {}
+        self._lock = threading.Lock()
+
+    def session(self, theory_name):
+        """The session for a theory preset, creating it on first use."""
+        key = theory_name.lower()
+        with self._lock:
+            existing = self._sessions.get(key)
+            if existing is not None:
+                return existing
+        # Theory construction can raise KmtError for unknown presets; build
+        # outside the lock, then publish (a racing duplicate is discarded).
+        session = EngineSession(
+            build_theory(key), budget=self.budget, prune_unsat_cells=self.prune_unsat_cells
+        )
+        with self._lock:
+            return self._sessions.setdefault(key, session)
+
+    def theories(self):
+        with self._lock:
+            return sorted(self._sessions)
+
+    def stats(self):
+        with self._lock:
+            sessions = dict(self._sessions)
+        return {name: session.stats() for name, session in sorted(sessions.items())}
+
+
+def execute_query(session, record):
+    """Run one query record on a session; returns the ``result`` payload.
+
+    Raises ``KmtError`` (or ``KeyError`` for missing fields) — the batch
+    runner converts those into error records.
+    """
+    op = record["op"]
+    if op == "equiv":
+        result = session.check_equivalent(record["left"], record["right"])
+        payload = {
+            "equivalent": result.equivalent,
+            "cells_explored": result.cells_explored,
+            "cells_pruned": result.cells_pruned,
+        }
+        if result.counterexample is not None:
+            payload["counterexample"] = result.counterexample.describe()
+        return payload
+    if op == "leq":
+        return {"leq": session.less_or_equal(record["left"], record["right"])}
+    if op == "norm":
+        nf = session.normalize(record["term"])
+        return {"normal_form": pretty_normal_form(nf), "summands": len(nf)}
+    if op == "sat":
+        return {"satisfiable": session.satisfiable(record["pred"])}
+    if op == "empty":
+        return {"empty": session.is_empty(record["term"])}
+    raise KmtError(f"unknown op {op!r}; expected one of {', '.join(QUERY_OPS)}")
+
+
+class BatchRunner:
+    """Parse, group and execute a JSONL batch on a session pool."""
+
+    def __init__(self, pool=None, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, jobs=None):
+        self.pool = pool if pool is not None else SessionPool(budget=budget)
+        self.default_theory = default_theory
+        self.jobs = jobs
+
+    def run_lines(self, lines):
+        """Execute an iterable of JSONL lines; returns response dicts in order.
+
+        Blank lines and ``#`` comments are skipped (no response record).
+        Default ``id``s are 0-based *input* line numbers, so error records can
+        be correlated back to the file even when comments/blanks interleave.
+        """
+        requests = []   # (index, record) for valid query records
+        controls = []   # (index, record) for stats/ping — answered post-batch
+        responses = {}  # index -> response dict
+        order = []      # indices with responses, in input order
+        for index, raw in enumerate(lines):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            order.append(index)
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ValueError("record must be a JSON object")
+                op = record.get("op")
+                if op in CONTROL_OPS:
+                    controls.append((index, record))
+                    continue
+                if op not in QUERY_OPS:
+                    raise ValueError(
+                        f"unknown op {op!r}; expected one of "
+                        f"{', '.join(QUERY_OPS + CONTROL_OPS)}"
+                    )
+                requests.append((index, record))
+            except ValueError as error:  # includes json.JSONDecodeError
+                responses[index] = {
+                    "id": index,
+                    "ok": False,
+                    "error": f"malformed request: {error}",
+                }
+        self._execute_grouped(requests, responses)
+        # Control responses are built after the queries ran, so a trailing
+        # {"op": "stats"} reflects the batch it is part of.
+        for index, record in controls:
+            responses[index] = self._control_response(record, index)
+        return [responses[index] for index in order]
+
+    def _control_response(self, record, index):
+        response = {"id": record.get("id", index), "op": record["op"], "ok": True}
+        if record["op"] == "stats":
+            response["result"] = self.pool.stats()
+        else:
+            response["result"] = {"pong": True, "theories": self.pool.theories()}
+        return response
+
+    def _execute_grouped(self, requests, responses):
+        groups = {}  # theory name -> [(index, record)]
+        for index, record in requests:
+            theory_name = str(record.get("theory", self.default_theory)).lower()
+            groups.setdefault(theory_name, []).append((index, record))
+        if not groups:
+            return
+        max_workers = self.jobs if self.jobs else len(groups)
+        max_workers = max(1, min(max_workers, len(groups)))
+        if max_workers == 1:
+            for theory_name, group in groups.items():
+                responses.update(self._run_group(theory_name, group))
+            return
+        with ThreadPoolExecutor(max_workers=max_workers) as executor:
+            futures = [
+                executor.submit(self._run_group, theory_name, group)
+                for theory_name, group in groups.items()
+            ]
+            for future in futures:
+                responses.update(future.result())
+
+    def _run_group(self, theory_name, group):
+        out = {}
+        try:
+            session = self.pool.session(theory_name)
+        except KmtError as error:
+            for index, record in group:
+                out[index] = self._error_response(record, index, theory_name, error)
+            return out
+        with session.lock:
+            for index, record in group:
+                base = {
+                    "id": record.get("id", index),
+                    "op": record["op"],
+                    "theory": theory_name,
+                }
+                try:
+                    base["ok"] = True
+                    base["result"] = execute_query(session, record)
+                except (KmtError, KeyError, TypeError, ValueError) as error:
+                    base = self._error_response(record, index, theory_name, error)
+                out[index] = base
+        return out
+
+    @staticmethod
+    def _error_response(record, index, theory_name, error):
+        if isinstance(error, KeyError):
+            message = f"missing field {error.args[0]!r}"
+        else:
+            message = str(error)
+        return {
+            "id": record.get("id", index),
+            "op": record.get("op"),
+            "theory": theory_name,
+            "ok": False,
+            "error": message,
+        }
+
+
+def run_batch_lines(lines, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET,
+                    jobs=None, pool=None):
+    """Convenience wrapper: run a batch, return ``(responses, pool)``."""
+    runner = BatchRunner(pool=pool, default_theory=default_theory, budget=budget, jobs=jobs)
+    return runner.run_lines(lines), runner.pool
+
+
+def serve(stdin, stdout, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, pool=None):
+    """The ``repro serve`` loop: one JSON request per stdin line, answer per line.
+
+    Runs until EOF or ``{"op": "quit"}``.  The session pool persists across
+    requests, so a client issuing overlapping queries over time gets the same
+    amortization as a batch.  Returns the number of requests served.
+    """
+    runner = BatchRunner(pool=pool, default_theory=default_theory, budget=budget, jobs=1)
+    served = 0
+    for raw in stdin:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = json.loads(line)
+            if isinstance(record, dict) and record.get("op") == "quit":
+                break
+        except ValueError:
+            pass  # run_lines reports the malformed line as an error record
+        for response in runner.run_lines([line]):
+            stdout.write(json.dumps(response, sort_keys=True) + "\n")
+        stdout.flush()
+        served += 1
+    return served

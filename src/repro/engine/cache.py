@@ -1,0 +1,187 @@
+"""Bounded LRU memo tables with hit/miss accounting.
+
+Every table is thread-safe (the batch front end runs per-theory sessions on a
+``concurrent.futures`` pool, and the derivative table is shared process-wide)
+and exposes :class:`CacheStats` so callers can verify that repeated work is
+actually being reused — the acceptance criterion for the batch front end.
+
+:class:`EngineCaches` bundles one table per concern.  The bundle is what the
+engine passes down into the core (``KMT(caches=...)``); the core treats it as
+an opaque duck-typed object, which keeps the core importable without the
+engine package.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.engine.intern import fingerprint, fingerprint_normal_form
+
+_MISS = object()
+
+
+class CacheStats:
+    """Hit/miss/eviction counters for one memo table."""
+
+    def __init__(self, name):
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self):
+        return {
+            "name": self.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __repr__(self):
+        return f"CacheStats({self.as_dict()})"
+
+
+class LRUCache:
+    """A bounded least-recently-used map with ``get``/``put`` and stats.
+
+    ``maxsize=None`` disables eviction (unbounded).  All operations take an
+    internal lock, so a single instance may be shared across worker threads.
+    """
+
+    def __init__(self, maxsize=4096, name="cache"):
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError(f"maxsize must be positive or None, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = CacheStats(name)
+        self._data = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key, default=None):
+        with self._lock:
+            value = self._data.get(key, _MISS)
+            if value is _MISS:
+                self.stats.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key, value):
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            self.stats.puts += 1
+            if self.maxsize is not None and len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+
+    def get_or_compute(self, key, compute):
+        """Return the cached value for ``key``, computing and storing on miss.
+
+        ``compute`` runs outside the lock, so concurrent misses may compute
+        twice; for the engine's pure functions that is merely redundant work.
+        """
+        value = self.get(key, _MISS)
+        if value is not _MISS:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self):
+        with self._lock:
+            self._data.clear()
+
+
+#: Process-wide memo for Brzozowski derivatives.  Derivatives are pure
+#: functions of hash-consed (theory-independent) restricted actions, so one
+#: shared table serves every session and theory; sessions install it into
+#: :mod:`repro.core.automata` on construction.
+DERIVATIVE_CACHE = LRUCache(maxsize=65536, name="deriv")
+
+
+class EngineCaches:
+    """The per-session bundle of memo tables the engine threads into the core.
+
+    ================  =====================================================
+    table             keyed by
+    ================  =====================================================
+    ``norm``          term fingerprint → ``NormalForm``
+    ``sat_conj``      frozenset of ``(alpha, polarity)`` literals → bool
+    ``sat_pred``      predicate fingerprint → bool
+    ``equiv``         pair of normal-form fingerprint keys → result
+    ``deriv``         ``(action, pi)`` → derivative (shared, process-wide)
+    ================  =====================================================
+    """
+
+    def __init__(
+        self,
+        norm_size=4096,
+        sat_conj_size=16384,
+        sat_pred_size=4096,
+        equiv_size=8192,
+        deriv=None,
+    ):
+        self.norm = LRUCache(norm_size, name="norm")
+        self.sat_conj = LRUCache(sat_conj_size, name="sat_conj")
+        self.sat_pred = LRUCache(sat_pred_size, name="sat_pred")
+        self.equiv = LRUCache(equiv_size, name="equiv")
+        self.deriv = DERIVATIVE_CACHE if deriv is None else deriv
+
+    # -- key builders (duck-typed interface used by repro.core.decision) ----
+    def term_key(self, term):
+        return fingerprint(term)
+
+    def pred_key(self, pred):
+        return fingerprint(pred)
+
+    def nf_pair_key(self, x, y):
+        return (fingerprint_normal_form(x), fingerprint_normal_form(y))
+
+    # -- accounting ---------------------------------------------------------
+    def all_caches(self):
+        return (self.norm, self.sat_conj, self.sat_pred, self.equiv, self.deriv)
+
+    def private_caches(self):
+        """The tables owned by this bundle (excludes a shared derivative memo)."""
+        out = [self.norm, self.sat_conj, self.sat_pred, self.equiv]
+        if self.deriv is not DERIVATIVE_CACHE:
+            out.append(self.deriv)
+        return tuple(out)
+
+    def stats(self):
+        """Nested hit/miss stats, plus aggregate totals."""
+        per_table = {cache.stats.name: cache.stats.as_dict() for cache in self.all_caches()}
+        totals = {
+            "hits": sum(cache.stats.hits for cache in self.all_caches()),
+            "misses": sum(cache.stats.misses for cache in self.all_caches()),
+        }
+        return {"tables": per_table, "totals": totals}
+
+    def clear(self):
+        """Drop this bundle's tables.
+
+        The process-wide :data:`DERIVATIVE_CACHE` is deliberately left alone —
+        other sessions are relying on it staying warm; clear it explicitly via
+        ``DERIVATIVE_CACHE.clear()`` if that is really what you want.
+        """
+        for cache in self.private_caches():
+            cache.clear()

@@ -1,0 +1,119 @@
+"""Stable fingerprints for hash-consed terms, predicates and normal forms.
+
+The core already hash-conses nodes (structurally equal terms are one Python
+object), which makes ``hash``/``==`` cheap — but object identity is not a
+*stable* name: it changes across :func:`repro.core.terms.clear_intern_table`
+calls and across processes constructing the same term.  The engine's memo
+tables instead key on *fingerprints*: small integers assigned per structural
+shape, cached directly on the node (the ``_fp`` slot reserved by the core) so
+the hot path is a single attribute load.
+
+Fingerprints are assigned either lazily on first use, or eagerly at
+construction time when :func:`install` routes the core's interning smart
+constructors through this module (``terms.set_intern_hook``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from repro.core import terms as T
+
+
+class InternStats:
+    """Counters for the fingerprint registry."""
+
+    def __init__(self):
+        self.assigned = 0
+        self.rekeyed = 0  # structurally-equal node seen again (e.g. after a table clear)
+
+    def as_dict(self):
+        return {"assigned": self.assigned, "rekeyed": self.rekeyed}
+
+    def __repr__(self):
+        return f"InternStats({self.as_dict()})"
+
+
+_LOCK = threading.Lock()
+_COUNTER = itertools.count(1)
+_BY_KEY = {}  # (class, structural key) -> fingerprint
+STATS = InternStats()
+
+
+def fingerprint(node):
+    """The stable fingerprint id of a ``Term`` or ``Pred`` node.
+
+    Structurally equal nodes always receive the same fingerprint, even when
+    hash consing is disabled or the intern table has been cleared in between
+    (the registry keys on the structural ``_key``, not on identity).
+    """
+    fp = getattr(node, "_fp", None)
+    if fp is not None:
+        return fp
+    key = (node.__class__, node._key())
+    with _LOCK:
+        fp = _BY_KEY.get(key)
+        if fp is None:
+            fp = next(_COUNTER)
+            _BY_KEY[key] = fp
+            STATS.assigned += 1
+        else:
+            STATS.rekeyed += 1
+    try:
+        node._fp = fp
+    except AttributeError:
+        # Foreign objects without the slot still get a (recomputed) answer.
+        pass
+    return fp
+
+
+def fingerprint_normal_form(nf):
+    """A stable key for a :class:`~repro.core.normalform.NormalForm`.
+
+    The frozenset of ``(test, action)`` fingerprint pairs, cached on the
+    normal form.  Two normal forms get the same key iff they are equal.
+    """
+    fp = getattr(nf, "_fp", None)
+    if fp is not None:
+        return fp
+    fp = frozenset((fingerprint(test), fingerprint(action)) for test, action in nf.pairs)
+    try:
+        nf._fp = fp
+    except AttributeError:
+        pass
+    return fp
+
+
+def install():
+    """Route the core's interning constructors through this registry.
+
+    After this call every freshly interned node is fingerprinted eagerly,
+    so cache lookups later never pay the registry lock.  Idempotent.
+    """
+    T.set_intern_hook(fingerprint)
+
+
+def uninstall():
+    """Remove the intern hook (fingerprints fall back to lazy assignment)."""
+    T.set_intern_hook(None)
+
+
+def registry_size():
+    """Number of distinct structural shapes fingerprinted so far."""
+    with _LOCK:
+        return len(_BY_KEY)
+
+
+def clear_registry():
+    """Drop all fingerprints (tests only — invalidates engine cache keys).
+
+    Nodes that already carry a ``_fp`` keep it; callers pairing this with
+    :func:`repro.core.terms.clear_intern_table` get a fully fresh world.
+    """
+    global _COUNTER
+    with _LOCK:
+        _BY_KEY.clear()
+        _COUNTER = itertools.count(1)
+        STATS.assigned = 0
+        STATS.rekeyed = 0

@@ -1,0 +1,152 @@
+"""Long-lived query sessions: one theory, persistent caches, amortized work.
+
+A plain :class:`~repro.core.kmt.KMT` builds a fresh ``Normalizer`` per query
+and re-derives every automaton from scratch; an :class:`EngineSession` wraps
+the same facade but keeps everything warm between queries:
+
+* one persistent ``Normalizer`` whose ``pb_star`` / primitive-pushback memo
+  tables survive across queries (stats and step budget reset per query);
+* an :class:`~repro.engine.cache.EngineCaches` bundle threaded into the
+  ``EquivalenceChecker`` (equivalence verdicts, satisfiability oracles) and
+  installed into :mod:`repro.core.automata` (shared derivative memo);
+* a fingerprint-keyed normal-form cache in front of normalization itself, so
+  repeated and overlapping queries — ``partition``, Hoare-triple chains, the
+  batch front end — never re-normalize the same term twice.
+
+Sessions are *not* thread-safe; the batch layer gives each worker exclusive
+access via :attr:`EngineSession.lock`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core import automata
+from repro.core import terms as T
+from repro.core.kmt import KMT
+from repro.core.pushback import DEFAULT_BUDGET, Normalizer
+from repro.engine import intern
+from repro.engine.cache import EngineCaches
+
+_MISS = object()
+
+
+class EngineSession:
+    """A persistent, cache-backed query engine for one client theory."""
+
+    def __init__(self, theory, budget=DEFAULT_BUDGET, prune_unsat_cells=True, caches=None):
+        intern.install()
+        self.caches = caches if caches is not None else EngineCaches()
+        # The automata memo is a process-wide slot: the first session installs
+        # its (normally shared) derivative cache; later sessions never clobber
+        # an already-installed one, so a custom per-bundle table cannot
+        # silently redirect other live sessions' derivative caching.
+        if automata.get_derivative_cache() is None:
+            automata.set_derivative_cache(self.caches.deriv)
+        self.kmt = KMT(
+            theory, budget=budget, prune_unsat_cells=prune_unsat_cells, caches=self.caches
+        )
+        self.theory = theory
+        self.budget = budget
+        self.lock = threading.Lock()
+        self._normalizer = Normalizer(theory, budget=budget)
+        self.queries = 0
+        self._cumulative_steps = 0
+
+    def __repr__(self):
+        return f"EngineSession({self.theory.describe()}, queries={self.queries})"
+
+    # ------------------------------------------------------------------
+    # parsing passthrough
+    # ------------------------------------------------------------------
+    def parse(self, text):
+        return self.kmt.parse(text)
+
+    def parse_pred(self, text):
+        return self.kmt.parse_pred(text)
+
+    def _coerce_term(self, p):
+        return self.kmt._coerce_term(p)
+
+    def _coerce_pred(self, pred):
+        if isinstance(pred, str):
+            return self.parse_pred(pred)
+        if not isinstance(pred, T.Pred):
+            raise TypeError(f"expected a Pred or source string, got {pred!r}")
+        return pred
+
+    # ------------------------------------------------------------------
+    # cached normalization
+    # ------------------------------------------------------------------
+    def normalize(self, term):
+        """Normalize a term, reusing the session's normal-form cache."""
+        self.queries += 1
+        return self._normalize_cached(term)
+
+    def _normalize_cached(self, term):
+        term = self._coerce_term(term)
+        key = self.caches.term_key(term)
+        cached = self.caches.norm.get(key, _MISS)
+        if cached is not _MISS:
+            return cached
+        self._normalizer.reset_stats()
+        nf = self._normalizer.normalize(term)
+        self._cumulative_steps += self._normalizer.stats.steps
+        self.caches.norm.put(key, nf)
+        return nf
+
+    # ------------------------------------------------------------------
+    # decision procedures (all routed through the cached normalizer)
+    # ------------------------------------------------------------------
+    # ``queries`` counts public entry points, once each — internal
+    # normalization sub-calls do not inflate it.
+    def check_equivalent(self, p, q):
+        """Decide ``p == q`` with full result; both normal forms are cached."""
+        self.queries += 1
+        x = self._normalize_cached(p)
+        y = self._normalize_cached(q)
+        return self.kmt.checker.check_equivalent_nf(x, y)
+
+    def equivalent(self, p, q):
+        return self.check_equivalent(p, q).equivalent
+
+    def less_or_equal(self, p, q):
+        """``p <= q`` i.e. ``p + q == q``."""
+        p, q = self._coerce_term(p), self._coerce_term(q)
+        return self.equivalent(T.tplus(p, q), q)
+
+    def is_empty(self, p):
+        self.queries += 1
+        return self.kmt.checker.is_empty_nf(self._normalize_cached(p))
+
+    def satisfiable(self, pred):
+        """Satisfiability of a predicate, memoized by fingerprint."""
+        self.queries += 1
+        pred = self._coerce_pred(pred)
+        return self.kmt.checker._satisfiable_pred(pred)
+
+    def partition(self, ps):
+        """Equivalence classes over ``ps`` (indices), sharing all caches."""
+        self.queries += 1
+        nfs = [self._normalize_cached(p) for p in ps]
+        return self.kmt.checker.partition_nfs(nfs)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def stats(self):
+        """Cache hit/miss tables plus session-level counters."""
+        out = self.caches.stats()
+        out["session"] = {
+            "theory": self.theory.describe(),
+            "queries": self.queries,
+            "normalization_steps": self._cumulative_steps,
+            "pb_star_memo": len(self._normalizer._pb_star_cache),
+            "pb_prim_memo": len(self._normalizer._pb_prim_cache),
+        }
+        return out
+
+    def clear_caches(self):
+        """Drop all cached results (the session stays usable)."""
+        self.caches.clear()
+        self._normalizer = Normalizer(self.theory, budget=self.budget)

@@ -24,6 +24,35 @@ from repro.theories.product import ProductTheory
 from repro.theories.sets import SetTheory
 from repro.theories.temporal_netkat import temporal_netkat
 
+THEORY_PRESET_NAMES = (
+    "incnat", "bitvec", "netkat", "product", "ltlf-nat", "ltlf-bool", "temporal-netkat"
+)
+
+
+def build_theory(name):
+    """Construct one of the named theory presets (CLI and batch front end)."""
+    from repro.utils.errors import KmtError
+
+    name = name.lower()
+    if name in ("incnat", "nat", "n"):
+        return IncNatTheory()
+    if name in ("bitvec", "bool", "b"):
+        return BitVecTheory()
+    if name in ("netkat",):
+        return NetKatTheory()
+    if name in ("product", "natbool", "nxb"):
+        return ProductTheory(IncNatTheory(), BitVecTheory())
+    if name in ("ltlf-nat", "ltlf"):
+        return LtlfTheory(IncNatTheory())
+    if name in ("ltlf-bool",):
+        return LtlfTheory(BitVecTheory())
+    if name in ("temporal-netkat", "tnetkat"):
+        return temporal_netkat()
+    raise KmtError(
+        f"unknown theory {name!r}; available: " + ", ".join(THEORY_PRESET_NAMES)
+    )
+
+
 __all__ = [
     "BitVecTheory",
     "IncNatTheory",
@@ -32,5 +61,7 @@ __all__ = [
     "NetKatTheory",
     "ProductTheory",
     "SetTheory",
+    "THEORY_PRESET_NAMES",
+    "build_theory",
     "temporal_netkat",
 ]

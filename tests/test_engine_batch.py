@@ -1,0 +1,210 @@
+"""Tests for the JSONL batch protocol, serve loop and CLI front end."""
+
+import io
+import json
+
+import pytest
+
+from repro.engine.batch import BatchRunner, SessionPool, run_batch_lines, serve
+
+
+def record(**fields):
+    return json.dumps(fields)
+
+
+class TestBatchRoundTrip:
+    def test_mixed_ops_round_trip(self):
+        lines = [
+            record(op="equiv", left="inc(x); x > 1", right="x > 0; inc(x)"),
+            record(op="norm", theory="bitvec", term="(flip a)*; a = T"),
+            record(op="sat", pred="x > 3; ~(x > 5)"),
+            record(op="empty", term="x > 3; ~(x > 3)"),
+            record(op="leq", left="inc(x)", right="inc(x) + x > 1"),
+        ]
+        responses, _ = run_batch_lines(lines)
+        assert len(responses) == 5
+        assert all(r["ok"] for r in responses)
+        assert responses[0]["result"]["equivalent"] is True
+        assert responses[1]["result"]["summands"] >= 1
+        assert responses[2]["result"]["satisfiable"] is True
+        assert responses[3]["result"]["empty"] is True
+        assert responses[4]["result"]["leq"] is True
+
+    def test_order_preserved_and_ids_echoed(self):
+        lines = [
+            record(op="sat", pred="x > 1", id="first"),
+            record(op="sat", pred="x > 2"),
+            record(op="sat", theory="bitvec", pred="a = T", id=99),
+        ]
+        responses, _ = run_batch_lines(lines)
+        assert [r["id"] for r in responses] == ["first", 1, 99]
+
+    def test_blank_and_comment_lines_skipped(self):
+        lines = ["", "   ", "# comment", record(op="sat", pred="x > 1")]
+        responses, _ = run_batch_lines(lines)
+        assert len(responses) == 1
+
+    def test_inequivalence_carries_counterexample(self):
+        responses, _ = run_batch_lines([record(op="equiv", left="x > 1", right="x > 2")])
+        assert responses[0]["ok"]
+        assert responses[0]["result"]["equivalent"] is False
+        assert "distinguishing word" in responses[0]["result"]["counterexample"]
+
+
+class TestErrorRecords:
+    def test_malformed_json_is_an_error_record(self):
+        lines = [
+            record(op="sat", pred="x > 1"),
+            "this is { not json",
+            record(op="sat", pred="x > 2"),
+        ]
+        responses, _ = run_batch_lines(lines)
+        assert len(responses) == 3
+        assert responses[0]["ok"] and responses[2]["ok"]
+        assert responses[1]["ok"] is False
+        assert "malformed" in responses[1]["error"]
+
+    def test_unknown_op(self):
+        responses, _ = run_batch_lines([record(op="frobnicate", term="inc(x)")])
+        assert responses[0]["ok"] is False
+        assert "unknown op" in responses[0]["error"]
+
+    def test_missing_field(self):
+        responses, _ = run_batch_lines([record(op="equiv", left="inc(x)")])
+        assert responses[0]["ok"] is False
+        assert "missing field" in responses[0]["error"]
+
+    def test_unknown_theory(self):
+        responses, _ = run_batch_lines([record(op="sat", theory="quantum", pred="x > 1")])
+        assert responses[0]["ok"] is False
+        assert "unknown theory" in responses[0]["error"]
+
+    def test_parse_error_is_per_record(self):
+        lines = [
+            record(op="sat", pred="x > !!!"),
+            record(op="sat", pred="x > 1"),
+        ]
+        responses, _ = run_batch_lines(lines)
+        assert responses[0]["ok"] is False
+        assert responses[1]["ok"] is True
+
+
+class TestSessionAffinityAndCaching:
+    def test_duplicate_queries_are_not_renormalized(self):
+        base = [
+            record(op="equiv", left="inc(x); x > 1", right="x > 0; inc(x)"),
+            record(op="norm", term="inc(x)*; x > 2"),
+            record(op="sat", pred="x > 3; ~(x > 5)"),
+            record(op="empty", term="x > 3; ~(x > 3)"),
+        ]
+        lines = base * 30  # 120 queries, heavy duplication
+        responses, pool = run_batch_lines(lines)
+        assert len(responses) == 120
+        assert all(r["ok"] for r in responses)
+        stats = pool.session("incnat").stats()
+        norm = stats["tables"]["norm"]
+        # Every duplicate term hit the normal-form cache instead of pushback.
+        assert norm["hits"] > norm["misses"]
+        assert stats["tables"]["equiv"]["hits"] > 0
+
+    def test_multi_theory_batch_uses_one_session_each(self):
+        lines = [
+            record(op="sat", theory="incnat", pred="x > 1"),
+            record(op="sat", theory="bitvec", pred="a = T"),
+            record(op="sat", theory="incnat", pred="x > 2"),
+            record(op="sat", theory="bitvec", pred="a = T; ~(a = T)"),
+        ]
+        runner = BatchRunner()
+        responses = runner.run_lines(lines)
+        assert [r["theory"] for r in responses] == ["incnat", "bitvec", "incnat", "bitvec"]
+        assert runner.pool.theories() == ["bitvec", "incnat"]
+
+    def test_pool_reuse_across_batches(self):
+        pool = SessionPool()
+        run_batch_lines([record(op="norm", term="inc(x)*; x > 1")], pool=pool)
+        _, pool = run_batch_lines([record(op="norm", term="inc(x)*; x > 1")], pool=pool)
+        assert pool.session("incnat").caches.norm.stats.hits >= 1
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_jobs_setting_does_not_change_results(self, jobs):
+        lines = [
+            record(op="equiv", theory="incnat", left="inc(x); x > 1", right="x > 0; inc(x)"),
+            record(op="equiv", theory="bitvec", left="a := T; a = T", right="a := T"),
+            record(op="sat", theory="incnat", pred="x > 5; ~(x > 3)"),
+        ]
+        responses, _ = run_batch_lines(lines, jobs=jobs)
+        assert responses[0]["result"]["equivalent"] is True
+        assert responses[1]["result"]["equivalent"] is True
+        assert responses[2]["result"]["satisfiable"] is False
+
+
+class TestControlOps:
+    def test_stats_op(self):
+        runner = BatchRunner()
+        runner.run_lines([record(op="sat", pred="x > 1")])
+        responses = runner.run_lines([record(op="stats")])
+        assert responses[0]["ok"]
+        assert "incnat" in responses[0]["result"]
+
+    def test_ping_op(self):
+        responses, _ = run_batch_lines([record(op="ping")])
+        assert responses[0]["result"]["pong"] is True
+
+
+class TestServeLoop:
+    def test_serve_round_trip(self):
+        stdin = io.StringIO(
+            "\n".join(
+                [
+                    record(op="sat", pred="x > 1"),
+                    record(op="sat", pred="x > 1"),
+                    record(op="stats"),
+                    record(op="quit"),
+                    record(op="sat", pred="x > 2"),  # after quit: never served
+                ]
+            )
+        )
+        stdout = io.StringIO()
+        served = serve(stdin, stdout)
+        replies = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert served == 3
+        assert len(replies) == 3
+        assert replies[0]["result"]["satisfiable"] is True
+        assert replies[1]["result"]["satisfiable"] is True
+        assert "incnat" in replies[2]["result"]
+
+    def test_serve_reports_malformed_lines(self):
+        stdin = io.StringIO("{bad json\n")
+        stdout = io.StringIO()
+        serve(stdin, stdout)
+        reply = json.loads(stdout.getvalue().splitlines()[0])
+        assert reply["ok"] is False
+
+
+class TestCliIntegration:
+    def test_batch_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        batch_file = tmp_path / "queries.jsonl"
+        batch_file.write_text(
+            "\n".join(
+                [
+                    record(op="equiv", left="inc(x); x > 1", right="x > 0; inc(x)"),
+                    record(op="sat", theory="bitvec", pred="a = T"),
+                ]
+            )
+        )
+        code = main(["batch", str(batch_file), "--stats"])
+        captured = capsys.readouterr()
+        assert code == 0
+        replies = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(replies) == 2 and all(r["ok"] for r in replies)
+        assert "2 responses (0 errors)" in captured.err
+        assert "sat_conj" in captured.err  # --stats dump
+
+    def test_batch_subcommand_error_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        batch_file = tmp_path / "queries.jsonl"
+        batch_file.write_text("not json\n")
+        assert main(["batch", str(batch_file)]) == 1

@@ -1,0 +1,76 @@
+"""Tests for the engine's fingerprint/interning layer."""
+
+from repro.core import terms as T
+from repro.core.normalform import NormalForm
+from repro.engine import intern
+
+
+class TestFingerprintIdentity:
+    def test_equal_terms_share_fingerprint(self, incnat):
+        from repro.theories.incnat import Gt, Incr
+
+        a = T.tseq(T.tprim(Incr("x")), T.ttest(T.pprim(Gt("x", 1))))
+        b = T.tseq(T.tprim(Incr("x")), T.ttest(T.pprim(Gt("x", 1))))
+        assert a is b  # hash consing
+        assert intern.fingerprint(a) == intern.fingerprint(b)
+
+    def test_distinct_terms_distinct_fingerprints(self):
+        from repro.theories.incnat import Gt
+
+        p = T.pprim(Gt("x", 1))
+        q = T.pprim(Gt("x", 2))
+        assert intern.fingerprint(p) != intern.fingerprint(q)
+
+    def test_preds_and_terms_do_not_collide(self):
+        from repro.theories.incnat import Gt
+
+        pred = T.pprim(Gt("z", 9))
+        term = T.ttest(pred)
+        assert intern.fingerprint(pred) != intern.fingerprint(term)
+
+
+class TestFingerprintStability:
+    def test_stable_across_intern_table_clear(self):
+        from repro.theories.incnat import Gt
+
+        before = intern.fingerprint(T.por(T.pprim(Gt("x", 3)), T.pnot(T.pprim(Gt("x", 5)))))
+        T.clear_intern_table()
+        after = intern.fingerprint(T.por(T.pprim(Gt("x", 3)), T.pnot(T.pprim(Gt("x", 5)))))
+        assert before == after
+
+    def test_stable_without_hash_consing(self):
+        from repro.theories.incnat import Gt
+
+        with T.hash_consing_disabled():
+            a = T.pand(T.pprim(Gt("x", 1)), T.pprim(Gt("y", 2)))
+            b = T.pand(T.pprim(Gt("x", 1)), T.pprim(Gt("y", 2)))
+        assert intern.fingerprint(a) == intern.fingerprint(b)
+
+    def test_install_assigns_eagerly(self):
+        from repro.theories.incnat import Gt
+
+        intern.install()
+        try:
+            T.clear_intern_table()
+            node = T.pprim(Gt("eager", 7))
+            # The hook ran at construction: the slot is already populated.
+            assert getattr(node, "_fp", None) is not None
+        finally:
+            intern.uninstall()
+
+
+class TestNormalFormFingerprints:
+    def test_equal_nfs_share_key(self):
+        from repro.theories.incnat import Gt, Incr
+
+        pairs = {(T.pprim(Gt("x", 1)), T.tprim(Incr("x")))}
+        x = NormalForm(pairs)
+        y = NormalForm(set(pairs))
+        assert intern.fingerprint_normal_form(x) == intern.fingerprint_normal_form(y)
+
+    def test_different_nfs_differ(self):
+        from repro.theories.incnat import Gt, Incr
+
+        x = NormalForm({(T.pprim(Gt("x", 1)), T.tprim(Incr("x")))})
+        y = NormalForm({(T.pprim(Gt("x", 2)), T.tprim(Incr("x")))})
+        assert intern.fingerprint_normal_form(x) != intern.fingerprint_normal_form(y)

@@ -1,0 +1,144 @@
+"""Tests for EngineSession: cached normalization, decisions, cross-theory reuse."""
+
+import pytest
+
+from repro.core import terms as T
+from repro.engine.session import EngineSession
+from repro.theories.bitvec import BitVecTheory
+from repro.theories.incnat import IncNatTheory
+from repro.theories.netkat import NetKatTheory
+
+
+@pytest.fixture
+def session():
+    return EngineSession(IncNatTheory(variables=("x", "y")))
+
+
+class TestCachedNormalization:
+    def test_repeated_normalize_hits_cache(self, session):
+        term = session.parse("inc(x)*; x > 2")
+        first = session.normalize(term)
+        misses = session.caches.norm.stats.misses
+        second = session.normalize(term)
+        assert first is second
+        assert session.caches.norm.stats.hits >= 1
+        assert session.caches.norm.stats.misses == misses
+
+    def test_string_and_term_queries_share_cache(self, session):
+        nf1 = session.normalize("inc(x); x > 1")
+        nf2 = session.normalize(session.parse("inc(x); x > 1"))
+        assert nf1 is nf2
+
+    def test_normalizer_memo_survives_queries(self, session):
+        session.normalize("(inc(x))*; x > 1")
+        session.normalize("(inc(x))*; x > 2")
+        assert session.stats()["session"]["pb_star_memo"] >= 1
+
+    def test_budget_applies_per_query_not_per_session(self):
+        # A session whose lifetime total exceeds the budget must keep working
+        # as long as each individual query stays under it.
+        session = EngineSession(IncNatTheory(variables=("x",)), budget=100)
+        for bound in range(20):
+            session.normalize(f"inc(x)*; x > {bound}")
+        assert session.stats()["session"]["normalization_steps"] > 100
+
+
+class TestCachedDecisions:
+    def test_equivalence_verdict_cached(self, session):
+        assert session.equivalent("inc(x); x > 1", "x > 0; inc(x)")
+        hits_before = session.caches.equiv.stats.hits
+        assert session.equivalent("inc(x); x > 1", "x > 0; inc(x)")
+        assert session.caches.equiv.stats.hits > hits_before
+
+    def test_symmetric_lookup_reuses_positive_verdict(self, session):
+        assert session.equivalent("inc(x); x > 1", "x > 0; inc(x)")
+        puts_before = session.caches.equiv.stats.puts
+        assert session.equivalent("x > 0; inc(x)", "inc(x); x > 1")
+        # The mirrored verdict was reused, not recomputed and re-stored.
+        assert session.caches.equiv.stats.puts == puts_before
+
+    def test_inequivalence_and_counterexample(self, session):
+        result = session.check_equivalent("x > 1", "x > 2")
+        assert not result.equivalent
+        assert result.counterexample is not None
+
+    def test_leq_and_empty_and_sat(self, session):
+        assert session.less_or_equal("inc(x)", "inc(x) + inc(y)")
+        assert session.is_empty("x > 3; ~(x > 3)")
+        assert not session.is_empty("inc(x)")
+        assert session.satisfiable("x > 3; ~(x > 5)")
+        assert not session.satisfiable("x > 5; ~(x > 3)")
+
+    def test_partition_matches_kmt(self, session):
+        terms = [
+            session.parse("inc(x); x > 1"),
+            session.parse("x > 0; inc(x)"),
+            session.parse("inc(x)"),
+        ]
+        assert session.partition(terms) == [[0, 1], [2]]
+
+    def test_sat_conjunction_memo_used(self, session):
+        session.equivalent("inc(x)*; x > 2", "inc(x)*; inc(x)*; x > 2")
+        session.equivalent("inc(x)*; x > 2", "inc(x)*; x > 2; inc(x)*")
+        assert session.caches.sat_conj.stats.hits > 0
+
+
+class TestSessionAgreesWithKMT:
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            ("inc(x); x > 1", "x > 0; inc(x)"),
+            ("inc(x)*; x > 10", "inc(x)*; inc(x)*; x > 10"),
+            ("x > 1", "x > 2"),
+            ("x := 3; x > 2", "x := 3"),
+        ],
+    )
+    def test_same_verdicts(self, left, right, kmt_incnat, session):
+        assert session.equivalent(left, right) == kmt_incnat.equivalent(left, right)
+
+
+class TestCrossTheoryReuse:
+    def test_independent_sessions_coexist(self):
+        nat = EngineSession(IncNatTheory(variables=("x",)))
+        boolean = EngineSession(BitVecTheory(variables=("a",)))
+        net = EngineSession(NetKatTheory({"sw": (1, 2)}))
+
+        assert nat.equivalent("inc(x); x > 1", "x > 0; inc(x)")
+        assert boolean.equivalent("a := T; a = T", "a := T")
+        assert net.equivalent("sw <- 1; sw = 1", "sw <- 1")
+
+        # Interleave: caches stay per-session and verdicts stay correct.
+        assert nat.equivalent("inc(x); x > 1", "x > 0; inc(x)")
+        assert boolean.equivalent("a := T; a = T", "a := T")
+        assert nat.caches is not boolean.caches
+        assert nat.caches.norm.stats.hits >= 1
+        assert boolean.caches.norm.stats.hits >= 1
+
+    def test_sessions_share_derivative_cache(self):
+        nat = EngineSession(IncNatTheory(variables=("x",)))
+        boolean = EngineSession(BitVecTheory(variables=("a",)))
+        assert nat.caches.deriv is boolean.caches.deriv
+
+    def test_clear_caches_keeps_session_usable(self):
+        session = EngineSession(IncNatTheory(variables=("x",)))
+        assert session.equivalent("inc(x); x > 1", "x > 0; inc(x)")
+        session.clear_caches()
+        assert session.equivalent("inc(x); x > 1", "x > 0; inc(x)")
+
+
+class TestStatsSurface:
+    def test_stats_shape(self, session):
+        session.equivalent("inc(x); x > 1", "x > 0; inc(x)")
+        stats = session.stats()
+        assert "tables" in stats and "session" in stats and "totals" in stats
+        assert stats["session"]["queries"] > 0
+        assert stats["session"]["theory"]
+
+
+class TestPredAndTermInputs:
+    def test_pred_input_coerced(self, session):
+        from repro.theories.incnat import Gt
+
+        pred = T.pprim(Gt("x", 1))
+        assert not session.is_empty(pred)
+        assert session.satisfiable(pred)

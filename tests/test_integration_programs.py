@@ -54,6 +54,7 @@ class TestFig9Microbenchmarks:
         rhs = "y < 1; a = T; b = T; c = T; inc(y); inc(y); inc(y)"
         assert kmt.equivalent(lhs, rhs)
 
+    @pytest.mark.slow
     def test_row7_flip3_exceeds_budget(self):
         from repro.utils.errors import NormalizationBudgetExceeded
 

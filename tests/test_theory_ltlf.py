@@ -206,6 +206,7 @@ class TestOverBitVec:
         was_set = bool_theory.ever(bv.eq("a", True))
         assert kmt_bool.equivalent(r, T.tseq(r, T.ttest(was_set)))
 
+    @pytest.mark.slow
     def test_since_unroll_law(self, kmt_bool, bool_theory):
         """LTL-Since-Unroll: a S b == b + a; last(a S b)."""
         bv = bool_theory.inner
@@ -215,6 +216,7 @@ class TestOverBitVec:
         unrolled = T.por(b, T.pand(a, bool_theory.last(since)))
         assert kmt_bool.equivalent(T.ttest(since), T.ttest(unrolled))
 
+    @pytest.mark.slow
     def test_not_since_law(self, kmt_bool, bool_theory):
         """LTL-Not-Since: ~(a S b) == (~b) B (~a;~b)."""
         bv = bool_theory.inner
