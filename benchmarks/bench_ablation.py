@@ -100,8 +100,10 @@ def _cell_heavy_pair():
 
 
 def test_ablation_cell_pruning_on(benchmark):
+    # Pruning is an enumerator knob; pin the mode so the ablation keeps
+    # measuring it after the signature search became the default.
     theory, left, right = _cell_heavy_pair()
-    checker = EquivalenceChecker(theory, prune_unsat_cells=True)
+    checker = EquivalenceChecker(theory, prune_unsat_cells=True, cell_search="enumerate")
 
     def run():
         return checker.check_equivalent(left, right)
@@ -113,7 +115,7 @@ def test_ablation_cell_pruning_on(benchmark):
 
 def test_ablation_cell_pruning_off(benchmark):
     theory, left, right = _cell_heavy_pair()
-    checker = EquivalenceChecker(theory, prune_unsat_cells=False)
+    checker = EquivalenceChecker(theory, prune_unsat_cells=False, cell_search="enumerate")
 
     def run():
         return checker.check_equivalent(left, right)

@@ -41,8 +41,10 @@ def test_denest_normalization_scaling(benchmark, n):
 
 @pytest.mark.parametrize("n", [1, 2, 3])
 def test_denest_decision_cells_scaling(benchmark, n):
+    # The 2^n satisfiable-cell count is a property of the explicit enumerator;
+    # the signature search is measured in benchmarks/bench_cell_search.py.
     term, theory = one_way_flip_loop(n)
-    kmt = KMT(theory, budget=5_000_000)
+    kmt = KMT(theory, budget=5_000_000, cell_search="enumerate")
 
     def decide():
         return kmt.check_equivalent(term, term)
@@ -53,3 +55,19 @@ def test_denest_decision_cells_scaling(benchmark, n):
     assert result.equivalent
     # The satisfiable-cell count doubles with every extra variable (2^n).
     assert result.cells_explored == 2 ** n
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_denest_decision_signature_scaling(benchmark, n):
+    """The signature search never compares more than the enumerator's cells."""
+    term, theory = one_way_flip_loop(n)
+    kmt = KMT(theory, budget=5_000_000)
+
+    def decide():
+        return kmt.check_equivalent(term, term)
+
+    result = benchmark.pedantic(decide, rounds=1, iterations=1)
+    benchmark.extra_info["signatures_explored"] = result.signatures_explored
+    benchmark.extra_info["language_compares"] = result.cells_explored
+    assert result.equivalent
+    assert result.cells_explored <= 2 ** n

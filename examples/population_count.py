@@ -30,8 +30,8 @@ def main():
     rhs = "y < 1; a = T; b = T; c = T; inc(y); inc(y); inc(y)"
     result = kmt.check_equivalent(lhs, rhs)
     print("  counting all three flags == requiring all three flags:", bool(result))
-    print(f"  ({result.cells_explored} satisfiable cells explored, "
-          f"{result.cells_pruned} pruned)")
+    print(f"  ({result.signatures_explored} guard signatures explored, "
+          f"{result.cells_explored} language comparisons)")
 
     print()
     print("=== variations ===")

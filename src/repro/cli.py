@@ -29,7 +29,7 @@ from repro.utils.errors import KmtError
 
 
 def _make_kmt(args):
-    return KMT(build_theory(args.theory), budget=args.budget)
+    return KMT(build_theory(args.theory), budget=args.budget, cell_search=args.cell_search)
 
 
 def cmd_equiv(args):
@@ -38,7 +38,10 @@ def cmd_equiv(args):
     result = kmt.check_equivalent(args.left, args.right)
     elapsed = time.perf_counter() - started
     verdict = "equivalent" if result.equivalent else "NOT equivalent"
-    print(f"{verdict}  ({elapsed:.3f}s, {result.cells_explored} cells explored)")
+    detail = f"{elapsed:.3f}s, {result.cells_explored} cells explored"
+    if args.cell_search == "signature":
+        detail += f", {result.signatures_explored} signatures"
+    print(f"{verdict}  ({detail})")
     if result.counterexample is not None:
         print("counterexample:", result.counterexample.describe())
     return 0 if result.equivalent else 1
@@ -97,7 +100,8 @@ def cmd_batch(args):
 
     from repro.engine.batch import BatchRunner
 
-    runner = BatchRunner(default_theory=args.theory, budget=args.budget, jobs=args.jobs)
+    runner = BatchRunner(default_theory=args.theory, budget=args.budget, jobs=args.jobs,
+                         cell_search=args.cell_search)
     if args.file == "-":
         lines = sys.stdin.readlines()
     else:
@@ -125,7 +129,8 @@ def cmd_batch(args):
 def cmd_serve(args):
     from repro.engine.batch import serve
 
-    served = serve(sys.stdin, sys.stdout, default_theory=args.theory, budget=args.budget)
+    served = serve(sys.stdin, sys.stdout, default_theory=args.theory, budget=args.budget,
+                   cell_search=args.cell_search)
     print(f"# served {served} requests", file=sys.stderr)
     return 0
 
@@ -138,13 +143,25 @@ def make_arg_parser():
     parser.add_argument(
         "--theory",
         default="incnat",
-        help="theory preset: incnat, bitvec, netkat, product, ltlf-nat, ltlf-bool, temporal-netkat",
+        help=(
+            "theory preset: incnat, bitvec, netkat, product, ltlf-nat, ltlf-bool, "
+            "temporal-netkat, sets, maps"
+        ),
     )
     parser.add_argument(
         "--budget",
         type=int,
         default=500_000,
         help="pushback step budget before normalization gives up",
+    )
+    parser.add_argument(
+        "--cell-search",
+        choices=("signature", "enumerate"),
+        default="signature",
+        help=(
+            "decision-procedure cell strategy: solver-guided signature search "
+            "(default) or the explicit cell enumerator (ablation baseline)"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -17,12 +17,36 @@ To decide ``p == q``:
    compare the two sums of restricted actions as regular languages with
    Hopcroft–Karp over Brzozowski derivatives.
 
-The enumeration of cells is worst-case exponential in the number of distinct
-primitive tests (exactly the ``O(2^{2^n})`` growth the paper reports for
-nested sums under star); it is pruned by checking theory consistency of
-*partial* assignments, which collapses the search dramatically for theories
-such as IncNat where most combinations of bounds are contradictory.  The
-unpruned variant is kept for the ablation benchmark.
+Step 2 admits two strategies, selected by the ``cell_search`` option:
+
+* ``"signature"`` (the default) — a *solver-guided guard-signature search*.
+  The verdict for a cell depends only on which summand guards the cell
+  enables, so instead of enumerating the ``2^n`` primitive-test assignments
+  we ask the DPLL(T) engine (:func:`repro.smt.dpll.enumerate_signatures`,
+  AllSAT with blocking clauses and unit propagation) for the
+  theory-realizable *guard activation signatures* — the distinct truth
+  valuations of the guards appearing in either normal form — and run one
+  language comparison per signature.  Comparisons are further memoized on the
+  pair of restricted action sums (the engine layer threads a shared LRU here,
+  so warm sessions skip repeated signatures across queries).  Cells that
+  agree on every guard are never distinguished, which collapses the
+  ``O(2^{2^n})`` blow-up the paper reports for nested sums under star down to
+  the (usually tiny) number of distinct enabled-summand sets.
+
+* ``"enumerate"`` — the paper-faithful explicit cell enumeration, worst-case
+  exponential in the number of distinct primitive tests.  It is pruned by
+  checking theory consistency of *partial* assignments when
+  ``prune_unsat_cells`` is set (the unpruned variant is kept for the ablation
+  benchmark), and is retained as the baseline for
+  ``benchmarks/bench_cell_search.py``.
+
+Both strategies return identical verdicts (the randomized differential test
+in ``tests/test_decision_signatures.py`` checks this).  The signature search
+never performs more ``language_compare`` calls (``cells_explored``), but its
+solver has its own search overhead: on adversarial inputs whose signatures
+are in bijection with the cells (every guard an independent atom) it is a
+small constant factor slower than the enumerator, in exchange for the
+exponential collapse whenever guards share structure.
 """
 
 from __future__ import annotations
@@ -30,7 +54,11 @@ from __future__ import annotations
 from repro.core import terms as T
 from repro.core.automata import language_compare, language_is_empty
 from repro.core.pushback import DEFAULT_BUDGET, Normalizer
+from repro.smt.dpll import SignatureSearchStats, enumerate_signatures
 from repro.smt.literals import evaluate
+
+#: Valid values for the ``cell_search`` option of :class:`EquivalenceChecker`.
+CELL_SEARCH_MODES = ("signature", "enumerate")
 
 _CACHE_MISS = object()
 
@@ -38,9 +66,14 @@ _CACHE_MISS = object()
 class Counterexample:
     """Evidence that two terms are inequivalent.
 
-    ``cell`` maps each primitive test (a theory ``alpha``) to the Boolean
-    value it takes in the distinguishing cell; ``word`` is a word of primitive
-    actions accepted by exactly one side within that cell.
+    ``cell`` is a list of ``(alpha, bool)`` literals — primitive tests and the
+    Boolean values they take in the distinguishing cell; ``word`` is a word of
+    primitive actions accepted by exactly one side within that cell.  Under
+    the default signature search the assignment may be *partial*: primitive
+    tests no guard depends on are omitted, and any theory state satisfying the
+    listed literals (regardless of the omitted tests) witnesses the
+    difference.  The ``cell_search="enumerate"`` baseline always produces a
+    total assignment over the primitive tests of both normal forms.
     """
 
     def __init__(self, cell, left_actions, right_actions, word):
@@ -50,12 +83,16 @@ class Counterexample:
         self.word = word
 
     def describe(self):
-        guards = ", ".join(
-            f"{alpha}={'T' if value else 'F'}" for alpha, value in self.cell
-        )
         word = " ".join(str(pi) for pi in self.word) if self.word else "<empty word>"
+        if not self.cell:
+            where = "in every cell"
+        else:
+            guards = ", ".join(
+                f"{alpha}={'T' if value else 'F'}" for alpha, value in self.cell
+            )
+            where = f"in the cell [{guards}]"
         return (
-            f"in the cell [{guards}] the two terms allow different action words; "
+            f"{where} the two terms allow different action words; "
             f"distinguishing word: {word}"
         )
 
@@ -66,11 +103,18 @@ class Counterexample:
 class EquivalenceResult:
     """Outcome of an equivalence query."""
 
-    def __init__(self, equivalent, counterexample=None, cells_explored=0, cells_pruned=0):
+    def __init__(self, equivalent, counterexample=None, cells_explored=0, cells_pruned=0,
+                 signatures_explored=0):
         self.equivalent = equivalent
         self.counterexample = counterexample
+        #: Language comparisons performed (one per explored cell for the
+        #: enumerator; one per un-memoized signature for the signature search).
         self.cells_explored = cells_explored
+        #: Branches abandoned because their literals were theory-inconsistent.
         self.cells_pruned = cells_pruned
+        #: Distinct satisfiable guard signatures enumerated (signature search
+        #: only; 0 under ``cell_search="enumerate"``).
+        self.signatures_explored = signatures_explored
 
     def __bool__(self):
         return self.equivalent
@@ -79,7 +123,8 @@ class EquivalenceResult:
         status = "equivalent" if self.equivalent else "inequivalent"
         return (
             f"EquivalenceResult({status}, cells_explored={self.cells_explored}, "
-            f"cells_pruned={self.cells_pruned})"
+            f"cells_pruned={self.cells_pruned}, "
+            f"signatures_explored={self.signatures_explored})"
         )
 
 
@@ -89,18 +134,32 @@ class EquivalenceChecker:
     ``caches`` is an optional engine-layer bundle
     (:class:`repro.engine.cache.EngineCaches`, duck-typed so the core stays
     independent of the engine package) providing bounded LRU memo tables for
-    satisfiable-conjunction oracle calls, predicate satisfiability, and
-    pairwise normal-form equivalence verdicts.  Without it the checker keeps a
-    private unbounded memo for the conjunction oracle, which already pays off
-    across the many overlapping cell searches of a single ``partition`` call.
+    satisfiable-conjunction oracle calls, predicate satisfiability, pairwise
+    normal-form equivalence verdicts, and signature (restricted-action pair)
+    comparison verdicts.  Without it the checker keeps private unbounded memos
+    for the conjunction oracle and the signature comparisons, which already
+    pay off across the many overlapping searches of a single ``partition``
+    call.
+
+    ``cell_search`` selects the strategy for comparing normal forms per
+    Boolean cell: ``"signature"`` (default, solver-guided guard-signature
+    search) or ``"enumerate"`` (explicit cell enumeration, the paper's
+    ablation baseline; ``prune_unsat_cells`` applies to this mode).
     """
 
-    def __init__(self, theory, budget=DEFAULT_BUDGET, prune_unsat_cells=True, caches=None):
+    def __init__(self, theory, budget=DEFAULT_BUDGET, prune_unsat_cells=True, caches=None,
+                 cell_search="signature"):
+        if cell_search not in CELL_SEARCH_MODES:
+            raise ValueError(
+                f"cell_search must be one of {CELL_SEARCH_MODES}, got {cell_search!r}"
+            )
         self.theory = theory
         self.budget = budget
         self.prune_unsat_cells = prune_unsat_cells
         self.caches = caches
+        self.cell_search = cell_search
         self._sat_memo = {}
+        self._compare_memo = {}
 
     # ------------------------------------------------------------------
     # normalization helpers
@@ -136,18 +195,34 @@ class EquivalenceChecker:
             mirrored = equiv_cache.get(self.caches.nf_pair_key(y, x), _CACHE_MISS)
             if mirrored is not _CACHE_MISS and mirrored.equivalent:
                 return mirrored
-        atoms = _collect_atoms(x, y)
-        search = _CellSearch(
-            self.theory, atoms, x, y, self.prune_unsat_cells,
-            sat_memo=self._conjunction_memo(),
-        )
-        counterexample = search.run()
-        result = EquivalenceResult(
-            equivalent=counterexample is None,
-            counterexample=counterexample,
-            cells_explored=search.cells_explored,
-            cells_pruned=search.cells_pruned,
-        )
+        if self.cell_search == "enumerate":
+            atoms = _collect_atoms(x, y)
+            search = _CellSearch(
+                self.theory, atoms, x, y, self.prune_unsat_cells,
+                sat_memo=self._conjunction_memo(),
+            )
+            counterexample = search.run()
+            result = EquivalenceResult(
+                equivalent=counterexample is None,
+                counterexample=counterexample,
+                cells_explored=search.cells_explored,
+                cells_pruned=search.cells_pruned,
+            )
+        else:
+            search = _SignatureSearch(
+                self.theory, x, y,
+                sat_memo=self._conjunction_memo(),
+                compare_memo=self._signature_memo(),
+                compare_key=self._signature_key(),
+            )
+            counterexample = search.run()
+            result = EquivalenceResult(
+                equivalent=counterexample is None,
+                counterexample=counterexample,
+                cells_explored=search.comparisons,
+                cells_pruned=search.stats.theory_pruned,
+                signatures_explored=search.signatures_explored,
+            )
         if equiv_cache is not None:
             equiv_cache.put(key, result)
         return result
@@ -156,6 +231,23 @@ class EquivalenceChecker:
         if self.caches is not None:
             return self.caches.sat_conj
         return self._sat_memo
+
+    def _signature_memo(self):
+        caches = self.caches
+        if caches is not None:
+            sig = getattr(caches, "sig", None)
+            if sig is not None:
+                return sig
+        return self._compare_memo
+
+    def _signature_key(self):
+        caches = self.caches
+        if caches is not None:
+            key = getattr(caches, "action_pair_key", None)
+            if key is not None:
+                return key
+        # Restricted actions are hash-consed, so the pair itself is a fine key.
+        return lambda left, right: (left, right)
 
     # ------------------------------------------------------------------
     # derived queries
@@ -227,15 +319,50 @@ def _collect_atoms(x, y):
     return [p.alpha for p in wrapped]
 
 
+def _memo_get(memo, key):
+    """Lookup in a plain dict or any ``get``/``put`` mapping (``_CACHE_MISS`` on miss)."""
+    return memo.get(key, _CACHE_MISS)
+
+
+def _memo_put(memo, key, value):
+    put = getattr(memo, "put", None)
+    if put is not None:
+        put(key, value)
+    else:
+        memo[key] = value
+
+
+def _memoized_conjunction_oracle(theory, memo):
+    """Wrap ``theory.satisfiable_conjunction`` with a shared memo.
+
+    ``memo`` is keyed by the *set* of literals (satisfiability is
+    order-independent) and may be a plain dict or any ``get``/``put`` mapping
+    (e.g. a bounded LRU).  The same conjunctions recur constantly across the
+    cell/signature searches of sibling queries — most visibly in
+    ``partition`` and in warm engine sessions — so the memo is shared at the
+    checker/engine level.
+    """
+
+    def satisfiable(literals):
+        if not literals:
+            return True
+        key = frozenset(literals)
+        cached = _memo_get(memo, key)
+        if cached is not _CACHE_MISS:
+            return cached
+        value = theory.satisfiable_conjunction(literals)
+        _memo_put(memo, key, value)
+        return value
+
+    return satisfiable
+
+
 class _CellSearch:
     """Recursive enumeration of primitive-test cells with consistency pruning.
 
-    ``sat_memo`` memoizes the theory's ``satisfiable_conjunction`` oracle,
-    keyed by the *set* of literals (satisfiability is order-independent).  The
-    same conjunctions recur constantly across the cell searches of sibling
-    queries — most visibly in ``partition`` and in warm engine sessions — so
-    the memo is shared at the checker/engine level; a plain dict or any
-    ``get``/``put`` mapping (e.g. a bounded LRU) works.
+    The ablation baseline behind ``cell_search="enumerate"``: one language
+    comparison per satisfiable total assignment of the primitive tests.  See
+    :func:`_memoized_conjunction_oracle` for the ``sat_memo`` protocol.
     """
 
     def __init__(self, theory, atoms, x, y, prune, sat_memo=None):
@@ -244,26 +371,14 @@ class _CellSearch:
         self.x = x
         self.y = y
         self.prune = prune
-        self.sat_memo = {} if sat_memo is None else sat_memo
+        self._satisfiable = _memoized_conjunction_oracle(
+            theory, {} if sat_memo is None else sat_memo
+        )
         self.cells_explored = 0
         self.cells_pruned = 0
 
     def run(self):
         return self._go(0, [])
-
-    def _satisfiable(self, literals):
-        key = frozenset(literals)
-        memo = self.sat_memo
-        cached = memo.get(key, _CACHE_MISS)
-        if cached is not _CACHE_MISS:
-            return cached
-        value = self.theory.satisfiable_conjunction(literals)
-        put = getattr(memo, "put", None)
-        if put is not None:
-            put(key, value)
-        else:
-            memo[key] = value
-        return value
 
     def _go(self, index, literals):
         if self.prune and literals:
@@ -300,3 +415,92 @@ class _CellSearch:
         if equivalent:
             return None
         return Counterexample(literals, left, right, word)
+
+
+# ---------------------------------------------------------------------------
+# solver-guided signature search
+# ---------------------------------------------------------------------------
+
+
+class _SignatureSearch:
+    """Solver-guided enumeration of guard activation signatures.
+
+    Collects the distinct guards of both normal forms and asks the DPLL(T)
+    engine for their theory-realizable truth valuations
+    (:func:`repro.smt.dpll.enumerate_signatures`).  Every cell with the same
+    signature enables the same summands on each side, so one language
+    comparison per signature decides all of its cells at once; comparisons
+    are additionally memoized on the restricted-action pair (``compare_memo``
+    — the engine layer passes a bounded LRU shared across queries, so warm
+    sessions skip repeated signatures entirely).
+
+    A counterexample's cell is the (possibly partial, theory-satisfiable)
+    witness assignment returned by the enumerator; primitive tests no guard
+    depends on are genuinely irrelevant to the verdict and stay undecided.
+    """
+
+    def __init__(self, theory, x, y, sat_memo=None, compare_memo=None, compare_key=None):
+        self.theory = theory
+        self.left_pairs = x.sorted_pairs()
+        self.right_pairs = y.sorted_pairs()
+        self._satisfiable = _memoized_conjunction_oracle(
+            theory, {} if sat_memo is None else sat_memo
+        )
+        self.compare_memo = {} if compare_memo is None else compare_memo
+        self.compare_key = compare_key if compare_key is not None else (
+            lambda left, right: (left, right)
+        )
+        guards = []
+        guard_slot = {}
+        def slot(test):
+            if isinstance(test, T.POne):
+                return None  # always enabled, not part of the signature
+            index = guard_slot.get(test)
+            if index is None:
+                index = len(guards)
+                guard_slot[test] = index
+                guards.append(test)
+            return index
+        self.left_slots = [slot(test) for test, _ in self.left_pairs]
+        self.right_slots = [slot(test) for test, _ in self.right_pairs]
+        self.guards = guards
+        self.stats = SignatureSearchStats()
+        self.signatures_explored = 0
+        self.comparisons = 0
+
+    def run(self):
+        for signature, witness in enumerate_signatures(
+            self.guards, self.theory, satisfiable=self._satisfiable, stats=self.stats
+        ):
+            self.signatures_explored += 1
+            left = self._enabled_sum(self.left_pairs, self.left_slots, signature)
+            right = self._enabled_sum(self.right_pairs, self.right_slots, signature)
+            equivalent, word = self._compare(left, right)
+            if not equivalent:
+                return Counterexample(witness, left, right, word)
+        return None
+
+    @staticmethod
+    def _enabled_sum(pairs, slots, signature):
+        return T.tplus_all(
+            action
+            for slot, (_, action) in zip(slots, pairs)
+            if slot is None or signature[slot]
+        )
+
+    def _compare(self, left, right):
+        memo = self.compare_memo
+        key = self.compare_key(left, right)
+        cached = _memo_get(memo, key)
+        if cached is not _CACHE_MISS:
+            return cached
+        # Language equivalence is symmetric; a positive verdict for the
+        # mirrored pair carries over (a witness word would not, so negative
+        # verdicts are only reused in the queried orientation).
+        mirrored = _memo_get(memo, self.compare_key(right, left))
+        if mirrored is not _CACHE_MISS and mirrored[0]:
+            return mirrored
+        self.comparisons += 1
+        verdict = language_compare(left, right)
+        _memo_put(memo, key, verdict)
+        return verdict

@@ -25,12 +25,14 @@ from repro.utils.errors import KmtError
 class KMT:
     """A Kleene algebra modulo the given client theory."""
 
-    def __init__(self, theory, budget=DEFAULT_BUDGET, prune_unsat_cells=True, caches=None):
+    def __init__(self, theory, budget=DEFAULT_BUDGET, prune_unsat_cells=True, caches=None,
+                 cell_search="signature"):
         self.theory = theory
         self.budget = budget
         self.caches = caches
         self.checker = EquivalenceChecker(
-            theory, budget=budget, prune_unsat_cells=prune_unsat_cells, caches=caches
+            theory, budget=budget, prune_unsat_cells=prune_unsat_cells, caches=caches,
+            cell_search=cell_search,
         )
         theory.attach(self)
 

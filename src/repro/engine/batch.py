@@ -31,6 +31,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.pretty import pretty_normal_form
 from repro.core.pushback import DEFAULT_BUDGET
+from repro.engine.cache import DERIVATIVE_CACHE
 from repro.engine.session import EngineSession
 from repro.theories import build_theory
 from repro.utils.errors import KmtError
@@ -46,9 +47,10 @@ DEFAULT_THEORY = "incnat"
 class SessionPool:
     """Lazily-built, persistent :class:`EngineSession` per theory preset."""
 
-    def __init__(self, budget=DEFAULT_BUDGET, prune_unsat_cells=True):
+    def __init__(self, budget=DEFAULT_BUDGET, prune_unsat_cells=True, cell_search="signature"):
         self.budget = budget
         self.prune_unsat_cells = prune_unsat_cells
+        self.cell_search = cell_search
         self._sessions = {}
         self._lock = threading.Lock()
 
@@ -62,7 +64,8 @@ class SessionPool:
         # Theory construction can raise KmtError for unknown presets; build
         # outside the lock, then publish (a racing duplicate is discarded).
         session = EngineSession(
-            build_theory(key), budget=self.budget, prune_unsat_cells=self.prune_unsat_cells
+            build_theory(key), budget=self.budget,
+            prune_unsat_cells=self.prune_unsat_cells, cell_search=self.cell_search,
         )
         with self._lock:
             return self._sessions.setdefault(key, session)
@@ -72,9 +75,21 @@ class SessionPool:
             return sorted(self._sessions)
 
     def stats(self):
+        """Per-session cache stats, with the process-wide tables reported once.
+
+        Every session shares the process-wide derivative cache, so including
+        it in each per-theory block would count the same hits/misses once per
+        session; per-theory blocks therefore cover only session-owned tables,
+        and the shared derivative table appears once under ``"shared"``.
+        """
         with self._lock:
             sessions = dict(self._sessions)
-        return {name: session.stats() for name, session in sorted(sessions.items())}
+        out = {
+            name: session.stats(include_shared=False)
+            for name, session in sorted(sessions.items())
+        }
+        out["shared"] = {"tables": {"deriv": DERIVATIVE_CACHE.stats.as_dict()}}
+        return out
 
 
 def execute_query(session, record):
@@ -90,6 +105,7 @@ def execute_query(session, record):
             "equivalent": result.equivalent,
             "cells_explored": result.cells_explored,
             "cells_pruned": result.cells_pruned,
+            "signatures_explored": result.signatures_explored,
         }
         if result.counterexample is not None:
             payload["counterexample"] = result.counterexample.describe()
@@ -109,23 +125,41 @@ def execute_query(session, record):
 class BatchRunner:
     """Parse, group and execute a JSONL batch on a session pool."""
 
-    def __init__(self, pool=None, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, jobs=None):
-        self.pool = pool if pool is not None else SessionPool(budget=budget)
+    def __init__(self, pool=None, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, jobs=None,
+                 cell_search=None):
+        # ``cell_search=None`` means "whatever the pool uses" — an explicit
+        # value must not be silently ignored when a caller also passes a pool
+        # built with a different strategy.
+        if pool is not None:
+            if cell_search is not None and cell_search != pool.cell_search:
+                raise ValueError(
+                    f"cell_search={cell_search!r} conflicts with the supplied "
+                    f"pool's cell_search={pool.cell_search!r}"
+                )
+            self.pool = pool
+        else:
+            self.pool = SessionPool(
+                budget=budget,
+                cell_search="signature" if cell_search is None else cell_search,
+            )
         self.default_theory = default_theory
         self.jobs = jobs
 
-    def run_lines(self, lines):
+    def run_lines(self, lines, index_offset=0):
         """Execute an iterable of JSONL lines; returns response dicts in order.
 
         Blank lines and ``#`` comments are skipped (no response record).
         Default ``id``s are 0-based *input* line numbers, so error records can
         be correlated back to the file even when comments/blanks interleave.
+        ``index_offset`` shifts the numbering — the serve loop feeds one line
+        at a time and passes the running stdin line number so defaults keep
+        advancing across calls.
         """
         requests = []   # (index, record) for valid query records
         controls = []   # (index, record) for stats/ping — answered post-batch
         responses = {}  # index -> response dict
         order = []      # indices with responses, in input order
-        for index, raw in enumerate(lines):
+        for index, raw in enumerate(lines, start=index_offset):
             line = raw.strip()
             if not line or line.startswith("#"):
                 continue
@@ -225,22 +259,29 @@ class BatchRunner:
 
 
 def run_batch_lines(lines, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET,
-                    jobs=None, pool=None):
+                    jobs=None, pool=None, cell_search=None):
     """Convenience wrapper: run a batch, return ``(responses, pool)``."""
-    runner = BatchRunner(pool=pool, default_theory=default_theory, budget=budget, jobs=jobs)
+    runner = BatchRunner(pool=pool, default_theory=default_theory, budget=budget, jobs=jobs,
+                         cell_search=cell_search)
     return runner.run_lines(lines), runner.pool
 
 
-def serve(stdin, stdout, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, pool=None):
+def serve(stdin, stdout, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, pool=None,
+          cell_search=None):
     """The ``repro serve`` loop: one JSON request per stdin line, answer per line.
 
     Runs until EOF or ``{"op": "quit"}``.  The session pool persists across
     requests, so a client issuing overlapping queries over time gets the same
     amortization as a batch.  Returns the number of requests served.
+
+    Default ``id``s follow batch semantics: the 0-based stdin line number
+    (blank and comment lines occupy a number but produce no response), so the
+    running offset is threaded into each single-line ``run_lines`` call.
     """
-    runner = BatchRunner(pool=pool, default_theory=default_theory, budget=budget, jobs=1)
+    runner = BatchRunner(pool=pool, default_theory=default_theory, budget=budget, jobs=1,
+                         cell_search=cell_search)
     served = 0
-    for raw in stdin:
+    for lineno, raw in enumerate(stdin):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
@@ -250,7 +291,7 @@ def serve(stdin, stdout, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, p
                 break
         except ValueError:
             pass  # run_lines reports the malformed line as an error record
-        for response in runner.run_lines([line]):
+        for response in runner.run_lines([line], index_offset=lineno):
             stdout.write(json.dumps(response, sort_keys=True) + "\n")
         stdout.flush()
         served += 1

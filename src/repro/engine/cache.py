@@ -128,6 +128,7 @@ class EngineCaches:
     ``sat_conj``      frozenset of ``(alpha, polarity)`` literals → bool
     ``sat_pred``      predicate fingerprint → bool
     ``equiv``         pair of normal-form fingerprint keys → result
+    ``sig``           pair of restricted-action fingerprints → ``(bool, word)``
     ``deriv``         ``(action, pi)`` → derivative (shared, process-wide)
     ================  =====================================================
     """
@@ -138,12 +139,14 @@ class EngineCaches:
         sat_conj_size=16384,
         sat_pred_size=4096,
         equiv_size=8192,
+        sig_size=8192,
         deriv=None,
     ):
         self.norm = LRUCache(norm_size, name="norm")
         self.sat_conj = LRUCache(sat_conj_size, name="sat_conj")
         self.sat_pred = LRUCache(sat_pred_size, name="sat_pred")
         self.equiv = LRUCache(equiv_size, name="equiv")
+        self.sig = LRUCache(sig_size, name="sig")
         self.deriv = DERIVATIVE_CACHE if deriv is None else deriv
 
     # -- key builders (duck-typed interface used by repro.core.decision) ----
@@ -156,23 +159,35 @@ class EngineCaches:
     def nf_pair_key(self, x, y):
         return (fingerprint_normal_form(x), fingerprint_normal_form(y))
 
+    def action_pair_key(self, left, right):
+        """Key for the signature comparison memo (a restricted-action pair)."""
+        return (fingerprint(left), fingerprint(right))
+
     # -- accounting ---------------------------------------------------------
     def all_caches(self):
-        return (self.norm, self.sat_conj, self.sat_pred, self.equiv, self.deriv)
+        return (self.norm, self.sat_conj, self.sat_pred, self.equiv, self.sig, self.deriv)
 
     def private_caches(self):
         """The tables owned by this bundle (excludes a shared derivative memo)."""
-        out = [self.norm, self.sat_conj, self.sat_pred, self.equiv]
+        out = [self.norm, self.sat_conj, self.sat_pred, self.equiv, self.sig]
         if self.deriv is not DERIVATIVE_CACHE:
             out.append(self.deriv)
         return tuple(out)
 
-    def stats(self):
-        """Nested hit/miss stats, plus aggregate totals."""
-        per_table = {cache.stats.name: cache.stats.as_dict() for cache in self.all_caches()}
+    def stats(self, include_shared=True):
+        """Nested hit/miss stats, plus aggregate totals.
+
+        ``include_shared=False`` restricts the report to the tables this
+        bundle owns, leaving out the process-wide derivative cache —
+        aggregators summing over several bundles (e.g.
+        :meth:`repro.engine.batch.SessionPool.stats`) use this to avoid
+        counting the shared table once per session.
+        """
+        caches = self.all_caches() if include_shared else self.private_caches()
+        per_table = {cache.stats.name: cache.stats.as_dict() for cache in caches}
         totals = {
-            "hits": sum(cache.stats.hits for cache in self.all_caches()),
-            "misses": sum(cache.stats.misses for cache in self.all_caches()),
+            "hits": sum(cache.stats.hits for cache in caches),
+            "misses": sum(cache.stats.misses for cache in caches),
         }
         return {"tables": per_table, "totals": totals}
 

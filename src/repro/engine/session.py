@@ -34,7 +34,8 @@ _MISS = object()
 class EngineSession:
     """A persistent, cache-backed query engine for one client theory."""
 
-    def __init__(self, theory, budget=DEFAULT_BUDGET, prune_unsat_cells=True, caches=None):
+    def __init__(self, theory, budget=DEFAULT_BUDGET, prune_unsat_cells=True, caches=None,
+                 cell_search="signature"):
         intern.install()
         self.caches = caches if caches is not None else EngineCaches()
         # The automata memo is a process-wide slot: the first session installs
@@ -44,7 +45,8 @@ class EngineSession:
         if automata.get_derivative_cache() is None:
             automata.set_derivative_cache(self.caches.deriv)
         self.kmt = KMT(
-            theory, budget=budget, prune_unsat_cells=prune_unsat_cells, caches=self.caches
+            theory, budget=budget, prune_unsat_cells=prune_unsat_cells, caches=self.caches,
+            cell_search=cell_search,
         )
         self.theory = theory
         self.budget = budget
@@ -134,9 +136,13 @@ class EngineSession:
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
-    def stats(self):
-        """Cache hit/miss tables plus session-level counters."""
-        out = self.caches.stats()
+    def stats(self, include_shared=True):
+        """Cache hit/miss tables plus session-level counters.
+
+        ``include_shared=False`` omits the process-wide derivative cache (see
+        :meth:`repro.engine.cache.EngineCaches.stats`).
+        """
+        out = self.caches.stats(include_shared=include_shared)
         out["session"] = {
             "theory": self.theory.describe(),
             "queries": self.queries,

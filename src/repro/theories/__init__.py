@@ -18,15 +18,26 @@ frozen dataclasses for its primitive tests and actions:
 from repro.theories.bitvec import BitVecTheory
 from repro.theories.incnat import IncNatTheory
 from repro.theories.ltlf import LtlfTheory
-from repro.theories.maps import MapTheory
+from repro.theories.maps import MapTheory, NatBoolMapAdapter
 from repro.theories.netkat import NetKatTheory
 from repro.theories.product import ProductTheory
-from repro.theories.sets import SetTheory
+from repro.theories.sets import NatExpressionAdapter, SetTheory
 from repro.theories.temporal_netkat import temporal_netkat
 
 THEORY_PRESET_NAMES = (
-    "incnat", "bitvec", "netkat", "product", "ltlf-nat", "ltlf-bool", "temporal-netkat"
+    "incnat", "bitvec", "netkat", "product", "ltlf-nat", "ltlf-bool", "temporal-netkat",
+    "sets", "maps",
 )
+
+#: Inner-theory variables the ``sets``/``maps`` presets declare.  The adapter
+#: variables seed the maximal-subterm ordering with every equality test
+#: pushback can generate, so expressions inserted into sets/maps from the CLI
+#: must use these names (constants are always allowed).
+SET_PRESET_EXPR_VARIABLES = ("i", "j", "k")
+SET_PRESET_SET_VARIABLES = ("X", "Y")
+MAP_PRESET_KEY_VARIABLES = ("i", "j")
+MAP_PRESET_VALUE_VARIABLES = ("p", "q")
+MAP_PRESET_MAP_VARIABLES = ("m", "odd")
 
 
 def build_theory(name):
@@ -48,6 +59,22 @@ def build_theory(name):
         return LtlfTheory(BitVecTheory())
     if name in ("temporal-netkat", "tnetkat"):
         return temporal_netkat()
+    if name in ("sets", "set"):
+        nat = IncNatTheory()
+        adapter = NatExpressionAdapter(nat, variables=SET_PRESET_EXPR_VARIABLES)
+        return SetTheory(nat, adapter, set_variables=SET_PRESET_SET_VARIABLES)
+    if name in ("maps", "map"):
+        nat = IncNatTheory()
+        bools = BitVecTheory()
+        adapter = NatBoolMapAdapter(
+            nat, bools,
+            key_variables=MAP_PRESET_KEY_VARIABLES,
+            value_variables=MAP_PRESET_VALUE_VARIABLES,
+        )
+        return MapTheory(
+            ProductTheory(nat, bools), adapter,
+            map_variables=MAP_PRESET_MAP_VARIABLES,
+        )
     raise KmtError(
         f"unknown theory {name!r}; available: " + ", ".join(THEORY_PRESET_NAMES)
     )

@@ -110,3 +110,33 @@ class TestErrorHandling:
         )
         assert code == 2
         assert "budget" in capsys.readouterr().err
+
+
+class TestCellSearchFlag:
+    def test_signature_output_by_default(self, capsys):
+        code = main(["--theory", "incnat", "equiv", "inc(x); x > 1", "x > 0; inc(x)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "signatures" in out
+
+    def test_enumerate_flag(self, capsys):
+        code = main(
+            ["--theory", "incnat", "--cell-search", "enumerate", "equiv",
+             "inc(x); x > 1", "x > 0; inc(x)"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cells explored" in out
+        assert "signatures" not in out
+
+
+class TestTheoryPresets:
+    def test_sets_preset(self, capsys):
+        code = main(["--theory", "sets", "equiv", "add(X, 3); in(X, 3)", "add(X, 3)"])
+        assert code == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_maps_preset(self, capsys):
+        code = main(["--theory", "maps", "sat", "m[1] = T"])
+        assert code == 0
+        assert "satisfiable" in capsys.readouterr().out

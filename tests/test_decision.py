@@ -50,7 +50,15 @@ class TestResultObject:
         result = kmt_bitvec.check_equivalent("a = T + ~(a = T)", "true")
         assert result.equivalent
         assert result.cells_explored >= 1
+        assert result.signatures_explored >= 1
         assert "equivalent" in repr(result)
+
+    def test_enumerate_mode_reports_no_signatures(self, bitvec):
+        kmt = KMT(bitvec, cell_search="enumerate")
+        result = kmt.check_equivalent("a = T + ~(a = T)", "true")
+        assert result.equivalent
+        assert result.cells_explored >= 1
+        assert result.signatures_explored == 0
 
     def test_counterexample_available(self, kmt_bitvec):
         result = kmt_bitvec.check_equivalent("a = T; b := T", "a = T; b := F")
@@ -96,10 +104,12 @@ class TestOrderingAndEmptiness:
 
 
 class TestPruningAblation:
+    """``prune_unsat_cells`` applies to the ``cell_search="enumerate"`` baseline."""
+
     def test_unpruned_checker_agrees(self):
         theory = BitVecTheory()
-        pruned = EquivalenceChecker(theory, prune_unsat_cells=True)
-        unpruned = EquivalenceChecker(theory, prune_unsat_cells=False)
+        pruned = EquivalenceChecker(theory, prune_unsat_cells=True, cell_search="enumerate")
+        unpruned = EquivalenceChecker(theory, prune_unsat_cells=False, cell_search="enumerate")
         kmt = KMT(theory)
         pairs = [
             ("a = T; a := F", "a = T; a := F"),
@@ -115,7 +125,7 @@ class TestPruningAblation:
     def test_pruning_skips_inconsistent_cells(self):
         theory = IncNatTheory()
         kmt = KMT(theory)
-        checker = EquivalenceChecker(theory, prune_unsat_cells=True)
+        checker = EquivalenceChecker(theory, prune_unsat_cells=True, cell_search="enumerate")
         p = kmt.parse("x > 5; x > 3; inc(x)")
         result = checker.check_equivalent(p, p)
         assert result.equivalent

@@ -208,3 +208,161 @@ class TestCliIntegration:
         batch_file = tmp_path / "queries.jsonl"
         batch_file.write_text("not json\n")
         assert main(["batch", str(batch_file)]) == 1
+
+
+class TestServeLineNumberIds:
+    """Default ids in serve mode are 0-based stdin line numbers (bugfix: the
+    per-line ``run_lines([line])`` calls used to restart the enumeration at 0
+    for every request)."""
+
+    def test_default_ids_advance_per_line(self):
+        stdin = io.StringIO(
+            "\n".join(
+                [
+                    record(op="sat", pred="x > 1"),      # line 0
+                    record(op="sat", pred="x > 2"),      # line 1
+                    record(op="sat", pred="x > 3"),      # line 2
+                ]
+            )
+        )
+        stdout = io.StringIO()
+        serve(stdin, stdout)
+        replies = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert [r["id"] for r in replies] == [0, 1, 2]
+
+    def test_blank_and_comment_lines_occupy_numbers(self):
+        stdin = io.StringIO(
+            "\n".join(
+                [
+                    "# a comment",                        # line 0 (no response)
+                    record(op="sat", pred="x > 1"),      # line 1
+                    "",                                   # line 2 (no response)
+                    record(op="sat", pred="x > 2"),      # line 3
+                ]
+            )
+        )
+        stdout = io.StringIO()
+        serve(stdin, stdout)
+        replies = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert [r["id"] for r in replies] == [1, 3]
+
+    def test_explicit_ids_still_win(self):
+        stdin = io.StringIO(
+            "\n".join(
+                [
+                    record(op="sat", pred="x > 1", id="mine"),
+                    record(op="sat", pred="x > 2"),
+                ]
+            )
+        )
+        stdout = io.StringIO()
+        serve(stdin, stdout)
+        replies = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert [r["id"] for r in replies] == ["mine", 1]
+
+    def test_batch_ids_unchanged(self):
+        responses, _ = run_batch_lines(
+            ["# c", record(op="sat", pred="x > 1"), record(op="sat", pred="x > 2")]
+        )
+        assert [r["id"] for r in responses] == [1, 2]
+
+
+class TestPoolStatsSharedTables:
+    """The process-wide derivative cache is reported once, not per session
+    (bugfix: per-session totals used to re-count the shared table)."""
+
+    def test_shared_deriv_reported_once(self):
+        pool = SessionPool()
+        run_batch_lines(
+            [
+                record(op="equiv", theory="incnat", left="inc(x); x > 1", right="x > 0; inc(x)"),
+                record(op="equiv", theory="bitvec", left="a := T; a = T", right="a := T"),
+            ],
+            pool=pool,
+        )
+        stats = pool.stats()
+        assert "shared" in stats
+        assert "deriv" in stats["shared"]["tables"]
+        for name in ("incnat", "bitvec"):
+            assert "deriv" not in stats[name]["tables"]
+
+    def test_per_session_totals_exclude_shared_table(self):
+        from repro.engine.cache import DERIVATIVE_CACHE
+
+        pool = SessionPool()
+        run_batch_lines(
+            [record(op="equiv", theory="incnat", left="inc(x); x > 1", right="x > 0; inc(x)")],
+            pool=pool,
+        )
+        stats = pool.stats()
+        session_stats = pool.session("incnat").stats()  # direct, shared included
+        shared_hits = DERIVATIVE_CACHE.stats.hits
+        assert session_stats["totals"]["hits"] == (
+            stats["incnat"]["totals"]["hits"] + shared_hits
+        )
+
+
+class TestSignatureFieldsInProtocol:
+    def test_equiv_response_reports_signatures(self):
+        responses, _ = run_batch_lines(
+            [record(op="equiv", left="inc(x); x > 1", right="x > 0; inc(x)")]
+        )
+        result = responses[0]["result"]
+        assert result["equivalent"] is True
+        assert result["signatures_explored"] >= 1
+
+    def test_enumerate_mode_pool(self):
+        responses, _ = run_batch_lines(
+            [record(op="equiv", left="inc(x); x > 1", right="x > 0; inc(x)")],
+            cell_search="enumerate",
+        )
+        result = responses[0]["result"]
+        assert result["equivalent"] is True
+        assert result["signatures_explored"] == 0
+        assert result["cells_explored"] >= 1
+
+    def test_explicit_pool_conflicting_cell_search_rejected(self):
+        pool = SessionPool(cell_search="signature")
+        with pytest.raises(ValueError):
+            BatchRunner(pool=pool, cell_search="enumerate")
+        # Matching or unspecified values inherit the pool's strategy.
+        assert BatchRunner(pool=pool, cell_search="signature").pool is pool
+        assert BatchRunner(pool=pool).pool is pool
+
+
+class TestSetAndMapPresets:
+    """``sets`` / ``maps`` are reachable from the batch protocol (bugfix:
+    the theories existed but ``build_theory`` could not construct them)."""
+
+    def test_sets_preset_round_trip(self):
+        lines = [
+            record(op="equiv", theory="sets",
+                   left="add(X, 3); in(X, 3)", right="add(X, 3)"),
+            record(op="sat", theory="sets", pred="in(X, 1); ~(in(X, 1))"),
+            record(op="norm", theory="sets", term="add(X, i); in(X, 2)"),
+        ]
+        responses, _ = run_batch_lines(lines)
+        assert all(r["ok"] for r in responses), responses
+        assert responses[0]["result"]["equivalent"] is True
+        assert responses[0]["result"]["signatures_explored"] >= 1
+        assert responses[1]["result"]["satisfiable"] is False
+        assert responses[2]["result"]["summands"] >= 1
+
+    def test_maps_preset_round_trip(self):
+        lines = [
+            record(op="equiv", theory="maps",
+                   left="m[1] := T; m[1] = T", right="m[1] := T"),
+            record(op="sat", theory="maps", pred="m[1] = T; ~(m[1] = T)"),
+        ]
+        responses, _ = run_batch_lines(lines)
+        assert all(r["ok"] for r in responses), responses
+        assert responses[0]["result"]["equivalent"] is True
+        assert responses[1]["result"]["satisfiable"] is False
+
+    def test_presets_listed(self):
+        from repro.theories import THEORY_PRESET_NAMES, build_theory
+
+        assert "sets" in THEORY_PRESET_NAMES
+        assert "maps" in THEORY_PRESET_NAMES
+        assert build_theory("sets").describe() == "set(incnat)"
+        assert build_theory("maps").describe() == "map(product(incnat, bitvec))"

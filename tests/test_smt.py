@@ -136,3 +136,94 @@ class TestDpll:
             assignment[alpha] = value > alpha.bound
         if evaluate(pred, assignment):
             assert dpll_satisfiable(pred, theory)
+
+
+class TestEnumerateSignatures:
+    """AllSAT-style guard-signature enumeration (blocking clauses + units)."""
+
+    @staticmethod
+    def _signatures(guards, theory):
+        from repro.smt.dpll import enumerate_signatures
+
+        return list(enumerate_signatures(guards, theory))
+
+    def test_no_guards_yields_single_empty_signature(self):
+        found = self._signatures([], BitVecTheory())
+        assert found == [((), [])]
+
+    def test_independent_atoms_enumerate_all_combinations(self):
+        a, b = T.pprim(BoolEq("a")), T.pprim(BoolEq("b"))
+        found = self._signatures([a, b], BitVecTheory())
+        assert {signature for signature, _ in found} == {
+            (True, True), (True, False), (False, True), (False, False)
+        }
+
+    def test_theory_inconsistent_signatures_are_skipped(self):
+        # x > 5 without x > 3 is impossible for IncNat.
+        g5, g3 = T.pprim(Gt("x", 5)), T.pprim(Gt("x", 3))
+        found = self._signatures([g5, g3], IncNatTheory())
+        assert {signature for signature, _ in found} == {
+            (True, True), (False, True), (False, False)
+        }
+
+    def test_logically_linked_guards_share_atoms(self):
+        # One guard and its negation can never agree.
+        a = T.pprim(BoolEq("a"))
+        found = self._signatures([a, T.pnot(a)], BitVecTheory())
+        assert {signature for signature, _ in found} == {(True, False), (False, True)}
+
+    def test_shared_conjunction_collapses_cells(self):
+        # n+1 atoms but only 2 realizable signatures: the big conjunction
+        # either holds or it does not.
+        atoms = [T.pprim(BoolEq(name)) for name in ("a", "b", "c", "d")]
+        guard = T.pand_all(atoms)
+        found = self._signatures([guard], BitVecTheory())
+        assert {signature for signature, _ in found} == {(True,), (False,)}
+
+    def test_witnesses_are_consistent_and_determine_guards(self):
+        theory = IncNatTheory()
+        g1 = T.pand(T.pprim(Gt("x", 1)), T.pprim(Gt("y", 2)))
+        g2 = T.por(T.pprim(Gt("x", 4)), T.pprim(Gt("y", 0)))
+        for signature, witness in self._signatures([g1, g2], theory):
+            assert theory.satisfiable_conjunction(witness) or not witness
+            for guard, expected in zip((g1, g2), signature):
+                reduced = guard
+                for alpha, polarity in witness:
+                    reduced = substitute(reduced, alpha, polarity)
+                assert isinstance(reduced, (T.POne, T.PZero))
+                assert isinstance(reduced, T.POne) == expected
+
+    def test_signatures_are_unique(self):
+        guards = [T.pprim(Gt("x", n)) for n in range(4)]
+        found = self._signatures(guards, IncNatTheory())
+        signatures = [signature for signature, _ in found]
+        assert len(signatures) == len(set(signatures))
+        # IncNat bounds are linearly ordered: only the 5 monotone valuations.
+        assert len(signatures) == 5
+
+    def test_constant_guards_are_respected(self):
+        a = T.pprim(BoolEq("a"))
+        found = self._signatures([T.pone(), a, T.pzero()], BitVecTheory())
+        assert {signature for signature, _ in found} == {
+            (True, True, False), (True, False, False)
+        }
+
+    def test_terminates_without_smart_constructors(self):
+        # Substitution can no longer constant-fold, so the search must fold
+        # logically itself (it used to spin yielding duplicate signatures).
+        with T.smart_constructors_disabled():
+            a, b = T.pprim(BoolEq("a")), T.pprim(BoolEq("b"))
+            found = self._signatures([T.pand(a, b), a], BitVecTheory())
+        assert sorted(signature for signature, _ in found) == [
+            (False, False), (False, True), (True, True)
+        ]
+
+    def test_stats_counters_populated(self):
+        from repro.smt.dpll import SignatureSearchStats, enumerate_signatures
+
+        stats = SignatureSearchStats()
+        guards = [T.pprim(Gt("x", 1)), T.pprim(Gt("x", 3))]
+        list(enumerate_signatures(guards, IncNatTheory(), stats=stats))
+        assert stats.decisions >= 1
+        assert stats.theory_pruned >= 1  # x>3 without x>1 is pruned
+        assert "decisions" in stats.as_dict()
