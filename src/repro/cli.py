@@ -96,23 +96,28 @@ def cmd_run(args):
 
 
 def cmd_batch(args):
+    import contextlib
     import json
 
     from repro.engine.batch import BatchRunner
 
     runner = BatchRunner(default_theory=args.theory, budget=args.budget, jobs=args.jobs,
                          cell_search=args.cell_search)
+    # The input is streamed into the runner one line at a time instead of
+    # readlines() — no duplicate raw-text buffer for `kmt batch -` on a large
+    # pipe.  (Parsed requests and responses are still materialized: the batch
+    # contract answers strictly in input order after executing everything.)
     if args.file == "-":
-        lines = sys.stdin.readlines()
+        source = contextlib.nullcontext(sys.stdin)
     else:
         try:
-            with open(args.file, "r", encoding="utf-8") as handle:
-                lines = handle.readlines()
+            source = open(args.file, "r", encoding="utf-8")
         except OSError as error:
             print(f"error: cannot read batch file: {error}", file=sys.stderr)
             return 2
     started = time.perf_counter()
-    responses = runner.run_lines(lines)
+    with source as lines:
+        responses = runner.run_lines(lines)
     elapsed = time.perf_counter() - started
     for response in responses:
         print(json.dumps(response, sort_keys=True))
@@ -126,12 +131,68 @@ def cmd_batch(args):
     return 0 if failures == 0 else 1
 
 
-def cmd_serve(args):
-    from repro.engine.batch import serve
+def _parse_host_port(text):
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise KmtError(f"--socket expects HOST:PORT, got {text!r}")
+    return host, int(port)
 
-    served = serve(sys.stdin, sys.stdout, default_theory=args.theory, budget=args.budget,
-                   cell_search=args.cell_search)
-    print(f"# served {served} requests", file=sys.stderr)
+
+def cmd_serve(args):
+    import signal
+    import threading
+
+    if args.legacy:
+        from repro.engine.batch import serve
+
+        served = serve(sys.stdin, sys.stdout, default_theory=args.theory, budget=args.budget,
+                       cell_search=args.cell_search)
+        print(f"# served {served} requests", file=sys.stderr)
+        return 0
+
+    from repro.engine.server import QueryServer, SocketServer, serve_stdio
+
+    server = QueryServer(
+        workers=args.workers, stripes=args.stripes, queue_limit=args.queue_limit,
+        default_theory=args.theory, budget=args.budget, cell_search=args.cell_search,
+    )
+
+    class _Terminated(Exception):
+        pass
+
+    def _on_sigterm(_signum, _frame):
+        raise _Terminated()
+
+    # SIGTERM drains gracefully: in-flight requests answer before exit.  Only
+    # installable from the main thread (tests drive cmd_serve from workers).
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, _on_sigterm)
+
+    if args.socket:
+        host, port = _parse_host_port(args.socket)
+        socket_server = SocketServer(host=host, port=port, server=server, ordered=args.ordered)
+        socket_server.start()
+        print(f"# listening on {host}:{socket_server.port} "
+              f"({args.workers} workers, {server.stripes} stripes)", file=sys.stderr)
+        try:
+            threading.Event().wait()  # serve until SIGTERM / SIGINT
+        except (_Terminated, KeyboardInterrupt):
+            pass
+        finally:
+            socket_server.close(drain=True)
+            print("# drained and stopped", file=sys.stderr)
+        return 0
+
+    try:
+        served = serve_stdio(sys.stdin, sys.stdout, ordered=args.ordered, server=server)
+    except _Terminated:
+        served = None
+    finally:
+        server.shutdown(drain=True)
+    if served is not None:
+        print(f"# served {served} requests", file=sys.stderr)
+    else:
+        print("# terminated; in-flight requests drained", file=sys.stderr)
     return 0
 
 
@@ -200,7 +261,35 @@ def make_arg_parser():
     batch.set_defaults(func=cmd_batch)
 
     serve = sub.add_parser(
-        "serve", help="read JSONL requests from stdin, answer on stdout until EOF"
+        "serve",
+        help=(
+            "concurrent JSONL query server: stdin/stdout by default, TCP with "
+            "--socket; see the README's server section for the protocol"
+        ),
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="worker threads executing queries (default: 4)",
+    )
+    serve.add_argument(
+        "--stripes", type=int, default=None,
+        help="sessions per hot theory (default: one per worker)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=128,
+        help="max in-flight requests before intake blocks (backpressure)",
+    )
+    serve.add_argument(
+        "--ordered", action="store_true",
+        help="emit responses in submission order instead of completion order",
+    )
+    serve.add_argument(
+        "--socket", metavar="HOST:PORT", default=None,
+        help="serve multiple clients over TCP instead of stdin/stdout (port 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--legacy", action="store_true",
+        help="use the blocking single-threaded serve loop instead of the concurrent server",
     )
     serve.set_defaults(func=cmd_serve)
     return parser

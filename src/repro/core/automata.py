@@ -231,7 +231,7 @@ class _UnionFind:
         return True
 
 
-def language_compare(m, n, max_states=None):
+def language_compare(m, n, max_states=None, cancel=None):
     """Decide ``R(m) == R(n)`` and produce a witness in a single pass.
 
     Runs Hopcroft–Karp over Brzozowski derivatives once, threading the access
@@ -243,7 +243,10 @@ def language_compare(m, n, max_states=None):
 
     ``max_states`` optionally bounds the number of explored state pairs as a
     safety valve (derivatives modulo the smart-constructor rewrites are finite,
-    so the default of no bound terminates).
+    so the default of no bound terminates).  ``cancel`` is an optional
+    cooperative-cancellation callable invoked once per explored state pair; it
+    aborts the comparison by raising (see
+    :class:`~repro.utils.errors.QueryCancelled`).
     """
     if not T.is_restricted(m) or not T.is_restricted(n):
         raise KmtError("language_compare expects restricted actions")
@@ -258,6 +261,8 @@ def language_compare(m, n, max_states=None):
         explored += 1
         if max_states is not None and explored > max_states:
             raise KmtError(f"language_compare exceeded {max_states} state pairs")
+        if cancel is not None:
+            cancel()
         if nullable(p) != nullable(q):
             return False, word
         for pi in sigma:

@@ -66,7 +66,7 @@ _CACHE_MISS = object()
 class Counterexample:
     """Evidence that two terms are inequivalent.
 
-    ``cell`` is a list of ``(alpha, bool)`` literals — primitive tests and the
+    ``cell`` is a tuple of ``(alpha, bool)`` literals — primitive tests and the
     Boolean values they take in the distinguishing cell; ``word`` is a word of
     primitive actions accepted by exactly one side within that cell.  Under
     the default signature search the assignment may be *partial*: primitive
@@ -74,13 +74,28 @@ class Counterexample:
     listed literals (regardless of the omitted tests) witnesses the
     difference.  The ``cell_search="enumerate"`` baseline always produces a
     total assignment over the primitive tests of both normal forms.
+
+    Instances are immutable: results are memoized in shared caches and handed
+    to many callers (potentially on different threads), so a mutable witness
+    would let one caller silently corrupt every later response.
     """
 
+    __slots__ = ("cell", "left_actions", "right_actions", "word")
+
     def __init__(self, cell, left_actions, right_actions, word):
-        self.cell = list(cell)
-        self.left_actions = left_actions
-        self.right_actions = right_actions
-        self.word = word
+        object.__setattr__(self, "cell", tuple(cell))
+        object.__setattr__(self, "left_actions", left_actions)
+        object.__setattr__(self, "right_actions", right_actions)
+        object.__setattr__(self, "word", None if word is None else tuple(word))
+
+    def __setattr__(self, name, value):
+        raise AttributeError(
+            f"Counterexample is immutable (attempted to set {name!r}); results "
+            "are shared through caches across callers and threads"
+        )
+
+    def __delattr__(self, name):
+        self.__setattr__(name, None)
 
     def describe(self):
         word = " ".join(str(pi) for pi in self.word) if self.word else "<empty word>"
@@ -101,30 +116,65 @@ class Counterexample:
 
 
 class EquivalenceResult:
-    """Outcome of an equivalence query."""
+    """Outcome of an equivalence query.
+
+    Immutable for the same reason as :class:`Counterexample`: the engine's
+    equivalence cache returns the same object to every caller asking the same
+    question, so in-place edits would corrupt all later answers.
+    """
+
+    __slots__ = ("equivalent", "counterexample", "cells_explored", "cells_pruned",
+                 "signatures_explored", "cached")
 
     def __init__(self, equivalent, counterexample=None, cells_explored=0, cells_pruned=0,
-                 signatures_explored=0):
-        self.equivalent = equivalent
-        self.counterexample = counterexample
-        #: Language comparisons performed (one per explored cell for the
-        #: enumerator; one per un-memoized signature for the signature search).
-        self.cells_explored = cells_explored
-        #: Branches abandoned because their literals were theory-inconsistent.
-        self.cells_pruned = cells_pruned
-        #: Distinct satisfiable guard signatures enumerated (signature search
-        #: only; 0 under ``cell_search="enumerate"``).
-        self.signatures_explored = signatures_explored
+                 signatures_explored=0, cached=False):
+        object.__setattr__(self, "equivalent", equivalent)
+        object.__setattr__(self, "counterexample", counterexample)
+        # Language comparisons performed (one per explored cell for the
+        # enumerator; one per un-memoized signature for the signature search).
+        object.__setattr__(self, "cells_explored", cells_explored)
+        # Branches abandoned because their literals were theory-inconsistent.
+        object.__setattr__(self, "cells_pruned", cells_pruned)
+        # Distinct satisfiable guard signatures enumerated (signature search
+        # only; 0 under ``cell_search="enumerate"``).
+        object.__setattr__(self, "signatures_explored", signatures_explored)
+        # True when this result was replayed from an equivalence cache — the
+        # exploration counters then describe the original computation, not
+        # fresh work (the batch/server protocols surface this as "cached").
+        object.__setattr__(self, "cached", cached)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(
+            f"EquivalenceResult is immutable (attempted to set {name!r}); results "
+            "are shared through caches across callers and threads"
+        )
+
+    def __delattr__(self, name):
+        self.__setattr__(name, None)
+
+    def as_cached(self):
+        """A copy flagged as replayed from a cache (shares the counterexample)."""
+        if self.cached:
+            return self
+        return EquivalenceResult(
+            self.equivalent,
+            counterexample=self.counterexample,
+            cells_explored=self.cells_explored,
+            cells_pruned=self.cells_pruned,
+            signatures_explored=self.signatures_explored,
+            cached=True,
+        )
 
     def __bool__(self):
         return self.equivalent
 
     def __repr__(self):
         status = "equivalent" if self.equivalent else "inequivalent"
+        cached = ", cached" if self.cached else ""
         return (
             f"EquivalenceResult({status}, cells_explored={self.cells_explored}, "
             f"cells_pruned={self.cells_pruned}, "
-            f"signatures_explored={self.signatures_explored})"
+            f"signatures_explored={self.signatures_explored}{cached})"
         )
 
 
@@ -180,26 +230,35 @@ class EquivalenceChecker:
         y = self.normalize(q)
         return self.check_equivalent_nf(x, y)
 
-    def check_equivalent_nf(self, x, y):
-        """Compare two already-normalized terms."""
+    def check_equivalent_nf(self, x, y, cancel=None):
+        """Compare two already-normalized terms.
+
+        ``cancel`` is an optional cooperative-cancellation callable threaded
+        into the signature/cell search and every language comparison; it
+        aborts the query by raising (see
+        :class:`~repro.utils.errors.QueryCancelled`).  Replayed verdicts are
+        returned as copies flagged ``cached=True`` so callers can tell stored
+        exploration counters from fresh work.
+        """
         equiv_cache = self.caches.equiv if self.caches is not None else None
         key = None
         if equiv_cache is not None:
             key = self.caches.nf_pair_key(x, y)
             cached = equiv_cache.get(key, _CACHE_MISS)
             if cached is not _CACHE_MISS:
-                return cached
+                return cached.as_cached()
             # Equivalence is symmetric; a positive verdict for (y, x) carries
             # over directly (a counterexample would need its sides swapped, so
             # negative verdicts are only reused in the queried orientation).
             mirrored = equiv_cache.get(self.caches.nf_pair_key(y, x), _CACHE_MISS)
             if mirrored is not _CACHE_MISS and mirrored.equivalent:
-                return mirrored
+                return mirrored.as_cached()
         if self.cell_search == "enumerate":
             atoms = _collect_atoms(x, y)
             search = _CellSearch(
                 self.theory, atoms, x, y, self.prune_unsat_cells,
                 sat_memo=self._conjunction_memo(),
+                cancel=cancel,
             )
             counterexample = search.run()
             result = EquivalenceResult(
@@ -214,6 +273,7 @@ class EquivalenceChecker:
                 sat_memo=self._conjunction_memo(),
                 compare_memo=self._signature_memo(),
                 compare_key=self._signature_key(),
+                cancel=cancel,
             )
             counterexample = search.run()
             result = EquivalenceResult(
@@ -365,7 +425,7 @@ class _CellSearch:
     :func:`_memoized_conjunction_oracle` for the ``sat_memo`` protocol.
     """
 
-    def __init__(self, theory, atoms, x, y, prune, sat_memo=None):
+    def __init__(self, theory, atoms, x, y, prune, sat_memo=None, cancel=None):
         self.theory = theory
         self.atoms = atoms
         self.x = x
@@ -374,6 +434,7 @@ class _CellSearch:
         self._satisfiable = _memoized_conjunction_oracle(
             theory, {} if sat_memo is None else sat_memo
         )
+        self.cancel = cancel
         self.cells_explored = 0
         self.cells_pruned = 0
 
@@ -399,6 +460,8 @@ class _CellSearch:
         return None
 
     def _compare_cell(self, literals):
+        if self.cancel is not None:
+            self.cancel()
         self.cells_explored += 1
         assignment = {alpha: value for alpha, value in literals}
         left = T.tplus_all(
@@ -411,7 +474,7 @@ class _CellSearch:
             for test, action in self.y.sorted_pairs()
             if evaluate(test, assignment)
         )
-        equivalent, word = language_compare(left, right)
+        equivalent, word = language_compare(left, right, cancel=self.cancel)
         if equivalent:
             return None
         return Counterexample(literals, left, right, word)
@@ -439,13 +502,15 @@ class _SignatureSearch:
     depends on are genuinely irrelevant to the verdict and stay undecided.
     """
 
-    def __init__(self, theory, x, y, sat_memo=None, compare_memo=None, compare_key=None):
+    def __init__(self, theory, x, y, sat_memo=None, compare_memo=None, compare_key=None,
+                 cancel=None):
         self.theory = theory
         self.left_pairs = x.sorted_pairs()
         self.right_pairs = y.sorted_pairs()
         self._satisfiable = _memoized_conjunction_oracle(
             theory, {} if sat_memo is None else sat_memo
         )
+        self.cancel = cancel
         self.compare_memo = {} if compare_memo is None else compare_memo
         self.compare_key = compare_key if compare_key is not None else (
             lambda left, right: (left, right)
@@ -470,7 +535,8 @@ class _SignatureSearch:
 
     def run(self):
         for signature, witness in enumerate_signatures(
-            self.guards, self.theory, satisfiable=self._satisfiable, stats=self.stats
+            self.guards, self.theory, satisfiable=self._satisfiable, stats=self.stats,
+            cancel=self.cancel,
         ):
             self.signatures_explored += 1
             left = self._enabled_sum(self.left_pairs, self.left_slots, signature)
@@ -501,6 +567,6 @@ class _SignatureSearch:
         if mirrored is not _CACHE_MISS and mirrored[0]:
             return mirrored
         self.comparisons += 1
-        verdict = language_compare(left, right)
+        verdict = language_compare(left, right, cancel=self.cancel)
         _memo_put(memo, key, verdict)
         return verdict

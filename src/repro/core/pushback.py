@@ -66,10 +66,20 @@ class NormalizationStats:
 class Normalizer:
     """Pushback-based normalization for one client theory."""
 
-    def __init__(self, theory, budget=DEFAULT_BUDGET):
+    #: How many pushback steps pass between two ``cancel`` checks.  Checking
+    #: on every step would put an extra call in the hottest loop of the
+    #: system; a power-of-two stride keeps the common case to one bit-and.
+    CANCEL_STRIDE = 256
+
+    def __init__(self, theory, budget=DEFAULT_BUDGET, cancel=None):
         self.theory = theory
         self.ctx = OrderingContext(theory)
         self.budget = budget
+        #: Optional cooperative-cancellation hook: a callable invoked every
+        #: :data:`CANCEL_STRIDE` steps that raises (typically
+        #: :class:`~repro.utils.errors.DeadlineExceeded`) to abandon the run.
+        #: Mutable — a long-lived session normalizer sets it per query.
+        self.cancel = cancel
         self.stats = NormalizationStats()
         self._pb_star_cache = {}
         self._pb_prim_cache = {}
@@ -94,6 +104,8 @@ class Normalizer:
         self.stats.steps += 1
         if self.budget is not None and self.stats.steps > self.budget:
             raise NormalizationBudgetExceeded(self.budget)
+        if self.cancel is not None and self.stats.steps % self.CANCEL_STRIDE == 0:
+            self.cancel()
 
     def _record(self, nf):
         if len(nf) > self.stats.max_normal_form_size:

@@ -13,15 +13,26 @@ that work across queries:
 * :mod:`repro.engine.session` — :class:`EngineSession`, a long-lived wrapper
   around :class:`~repro.core.kmt.KMT` that threads the caches through the
   normalizer, the cell search and the automata module;
-* :mod:`repro.engine.batch` — a JSONL batch protocol plus a stdin/stdout
-  serve loop, dispatching work across per-theory sessions on a
-  ``concurrent.futures`` pool.
+* :mod:`repro.engine.batch` — a JSONL batch protocol plus the blocking
+  stdin/stdout serve loop, dispatching work across per-theory sessions on a
+  ``concurrent.futures`` pool;
+* :mod:`repro.engine.server` — the concurrent query server: bounded intake
+  queue with backpressure, per-``(theory, stripe)`` session shards pinned to
+  worker threads, per-request deadlines with cooperative cancellation,
+  out-of-order or ordered emission, and stdio/TCP front ends.
 """
 
 from repro.engine.cache import CacheStats, EngineCaches, LRUCache
 from repro.engine.intern import fingerprint, fingerprint_normal_form
 from repro.engine.session import EngineSession
 from repro.engine.batch import BatchRunner, SessionPool, run_batch_lines, serve
+from repro.engine.server import (
+    QueryServer,
+    ResponseSink,
+    ShardedSessionPool,
+    SocketServer,
+    serve_stdio,
+)
 
 __all__ = [
     "BatchRunner",
@@ -29,9 +40,14 @@ __all__ = [
     "EngineCaches",
     "EngineSession",
     "LRUCache",
+    "QueryServer",
+    "ResponseSink",
     "SessionPool",
+    "ShardedSessionPool",
+    "SocketServer",
     "fingerprint",
     "fingerprint_normal_form",
     "run_batch_lines",
     "serve",
+    "serve_stdio",
 ]

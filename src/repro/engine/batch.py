@@ -10,8 +10,10 @@ One request per line, one JSON response per line, order preserved::
 
 Responses echo ``op``/``theory`` plus the request's ``id`` (defaulting to the
 0-based line number) and carry either ``"ok": true`` with a ``result`` object
-or ``"ok": false`` with an ``error`` string — malformed lines produce error
-records instead of aborting the batch.
+or ``"ok": false`` with an ``error`` string and a machine-readable
+``error_code`` — malformed lines produce error records instead of aborting
+the batch.  Replayed equivalence verdicts are flagged ``"cached": true`` so
+their exploration counters are not mistaken for fresh work.
 
 Batches are dispatched across a ``concurrent.futures`` thread pool with
 *session affinity*: requests are grouped by theory and each group runs on its
@@ -21,6 +23,11 @@ re-normalizing.  The serve loop (``repro serve``) reads the same protocol from
 stdin and answers on stdout, keeping one session pool alive for the whole
 conversation; the extra ops ``{"op": "stats"}`` and ``{"op": "ping"}`` expose
 cache accounting and liveness.
+
+The request parsing/validation helpers (:func:`parse_request_line`,
+:func:`execute_query`, :func:`error_response`, :func:`classify_query_error`)
+are shared with the concurrent query server (:mod:`repro.engine.server`), so
+the two front ends cannot drift apart on protocol details.
 """
 
 from __future__ import annotations
@@ -31,10 +38,10 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.pretty import pretty_normal_form
 from repro.core.pushback import DEFAULT_BUDGET
-from repro.engine.cache import DERIVATIVE_CACHE
+from repro.engine.cache import installed_derivative_stats
 from repro.engine.session import EngineSession
 from repro.theories import build_theory
-from repro.utils.errors import KmtError
+from repro.utils.errors import KmtError, ParseError, QueryCancelled
 
 #: Ops that dispatch to a theory session.
 QUERY_OPS = ("equiv", "leq", "norm", "sat", "empty")
@@ -43,14 +50,135 @@ CONTROL_OPS = ("stats", "ping")
 
 DEFAULT_THEORY = "incnat"
 
+# ---------------------------------------------------------------------------
+# structured error codes (stable, machine-readable; the human-readable
+# ``error`` string may change freely)
+# ---------------------------------------------------------------------------
+ERROR_MALFORMED = "malformed_request"
+ERROR_UNKNOWN_OP = "unknown_op"
+ERROR_UNKNOWN_THEORY = "unknown_theory"
+ERROR_MISSING_FIELD = "missing_field"
+ERROR_PARSE = "parse_error"
+ERROR_INVALID = "invalid_request"
+ERROR_DEADLINE = "deadline_exceeded"
+ERROR_QUEUE_FULL = "queue_full"
+ERROR_SHUTDOWN = "shutting_down"
+ERROR_INTERNAL = "internal_error"
+
+
+def parse_request_line(raw):
+    """Classify one input line of the JSONL protocol.
+
+    Returns a ``(kind, payload)`` pair:
+
+    * ``("skip", None)`` — blank line or ``#`` comment (no response);
+    * ``("quit", record)`` — a well-formed ``{"op": "quit"}`` record;
+    * ``("control", record)`` — ``stats`` / ``ping``;
+    * ``("query", record)`` — one of :data:`QUERY_OPS`;
+    * ``("error", (message, code, record))`` — malformed JSON, a non-object
+      record, or an unknown op.  ``record`` is the parsed request when one
+      exists (``{}`` otherwise) so error responses can still echo the
+      client's ``id`` — out-of-order completion depends on that.
+    """
+    line = raw.strip()
+    if not line or line.startswith("#"):
+        return "skip", None
+    try:
+        record = json.loads(line)
+    except ValueError as error:
+        return "error", (f"malformed request: {error}", ERROR_MALFORMED, {})
+    if not isinstance(record, dict):
+        return "error", ("malformed request: record must be a JSON object", ERROR_MALFORMED, {})
+    op = record.get("op")
+    if op == "quit":
+        return "quit", record
+    if op in CONTROL_OPS:
+        return "control", record
+    if op in QUERY_OPS:
+        return "query", record
+    return "error", (
+        f"unknown op {op!r}; expected one of {', '.join(QUERY_OPS + CONTROL_OPS)}",
+        ERROR_UNKNOWN_OP,
+        record,
+    )
+
+
+def classify_query_error(error):
+    """Map an exception from query execution to ``(message, error_code)``."""
+    if isinstance(error, KeyError):
+        return f"missing field {error.args[0]!r}", ERROR_MISSING_FIELD
+    if isinstance(error, QueryCancelled):
+        return str(error), ERROR_DEADLINE
+    if isinstance(error, ParseError):
+        return str(error), ERROR_PARSE
+    return str(error), ERROR_INVALID
+
+
+def error_response(record, fallback_id, theory_name, message, code):
+    """Build one ``"ok": false`` response record."""
+    out = {
+        "id": record.get("id", fallback_id) if isinstance(record, dict) else fallback_id,
+        "ok": False,
+        "error": message,
+        "error_code": code,
+    }
+    if isinstance(record, dict) and record.get("op") is not None:
+        out["op"] = record.get("op")
+    if theory_name is not None:
+        out["theory"] = theory_name
+    return out
+
+
+def execute_query(session, record, cancel=None):
+    """Run one query record on a session; returns the ``result`` payload.
+
+    Raises ``KmtError`` (or ``KeyError`` for missing fields) — callers convert
+    those into error records via :func:`classify_query_error`.  ``cancel`` is
+    the optional cooperative-cancellation hook threaded through the session
+    into normalization and the decision procedure.
+    """
+    op = record["op"]
+    if op == "equiv":
+        result = session.check_equivalent(record["left"], record["right"], cancel=cancel)
+        payload = {
+            "equivalent": result.equivalent,
+            "cells_explored": result.cells_explored,
+            "cells_pruned": result.cells_pruned,
+            "signatures_explored": result.signatures_explored,
+        }
+        if result.cached:
+            # Replayed verdict: the counters above describe the run that
+            # first computed it, not work done for this request.
+            payload["cached"] = True
+        if result.counterexample is not None:
+            payload["counterexample"] = result.counterexample.describe()
+        return payload
+    if op == "leq":
+        return {"leq": session.less_or_equal(record["left"], record["right"], cancel=cancel)}
+    if op == "norm":
+        nf = session.normalize(record["term"], cancel=cancel)
+        return {"normal_form": pretty_normal_form(nf), "summands": len(nf)}
+    if op == "sat":
+        return {"satisfiable": session.satisfiable(record["pred"])}
+    if op == "empty":
+        return {"empty": session.is_empty(record["term"], cancel=cancel)}
+    raise KmtError(f"unknown op {op!r}; expected one of {', '.join(QUERY_OPS)}")
+
 
 class SessionPool:
-    """Lazily-built, persistent :class:`EngineSession` per theory preset."""
+    """Lazily-built, persistent :class:`EngineSession` per theory preset.
 
-    def __init__(self, budget=DEFAULT_BUDGET, prune_unsat_cells=True, cell_search="signature"):
+    ``theory_factory`` maps a preset name to a ``Theory`` (default
+    :func:`repro.theories.build_theory`); benchmarks and tests inject wrappers
+    here, e.g. to model external-solver oracle latency.
+    """
+
+    def __init__(self, budget=DEFAULT_BUDGET, prune_unsat_cells=True, cell_search="signature",
+                 theory_factory=None):
         self.budget = budget
         self.prune_unsat_cells = prune_unsat_cells
         self.cell_search = cell_search
+        self.theory_factory = build_theory if theory_factory is None else theory_factory
         self._sessions = {}
         self._lock = threading.Lock()
 
@@ -64,7 +192,7 @@ class SessionPool:
         # Theory construction can raise KmtError for unknown presets; build
         # outside the lock, then publish (a racing duplicate is discarded).
         session = EngineSession(
-            build_theory(key), budget=self.budget,
+            self.theory_factory(key), budget=self.budget,
             prune_unsat_cells=self.prune_unsat_cells, cell_search=self.cell_search,
         )
         with self._lock:
@@ -80,7 +208,9 @@ class SessionPool:
         Every session shares the process-wide derivative cache, so including
         it in each per-theory block would count the same hits/misses once per
         session; per-theory blocks therefore cover only session-owned tables,
-        and the shared derivative table appears once under ``"shared"``.
+        and the *actually installed* shared table (see
+        :func:`repro.engine.cache.installed_derivative_stats` — not
+        necessarily the default one) appears once under ``"shared"``.
         """
         with self._lock:
             sessions = dict(self._sessions)
@@ -88,38 +218,8 @@ class SessionPool:
             name: session.stats(include_shared=False)
             for name, session in sorted(sessions.items())
         }
-        out["shared"] = {"tables": {"deriv": DERIVATIVE_CACHE.stats.as_dict()}}
+        out["shared"] = installed_derivative_stats()
         return out
-
-
-def execute_query(session, record):
-    """Run one query record on a session; returns the ``result`` payload.
-
-    Raises ``KmtError`` (or ``KeyError`` for missing fields) — the batch
-    runner converts those into error records.
-    """
-    op = record["op"]
-    if op == "equiv":
-        result = session.check_equivalent(record["left"], record["right"])
-        payload = {
-            "equivalent": result.equivalent,
-            "cells_explored": result.cells_explored,
-            "cells_pruned": result.cells_pruned,
-            "signatures_explored": result.signatures_explored,
-        }
-        if result.counterexample is not None:
-            payload["counterexample"] = result.counterexample.describe()
-        return payload
-    if op == "leq":
-        return {"leq": session.less_or_equal(record["left"], record["right"])}
-    if op == "norm":
-        nf = session.normalize(record["term"])
-        return {"normal_form": pretty_normal_form(nf), "summands": len(nf)}
-    if op == "sat":
-        return {"satisfiable": session.satisfiable(record["pred"])}
-    if op == "empty":
-        return {"empty": session.is_empty(record["term"])}
-    raise KmtError(f"unknown op {op!r}; expected one of {', '.join(QUERY_OPS)}")
 
 
 class BatchRunner:
@@ -153,37 +253,34 @@ class BatchRunner:
         be correlated back to the file even when comments/blanks interleave.
         ``index_offset`` shifts the numbering — the serve loop feeds one line
         at a time and passes the running stdin line number so defaults keep
-        advancing across calls.
+        advancing across calls.  ``lines`` is consumed lazily (one line at a
+        time), so a streamed file handle never has to fit in memory at once.
         """
         requests = []   # (index, record) for valid query records
         controls = []   # (index, record) for stats/ping — answered post-batch
         responses = {}  # index -> response dict
         order = []      # indices with responses, in input order
         for index, raw in enumerate(lines, start=index_offset):
-            line = raw.strip()
-            if not line or line.startswith("#"):
+            kind, payload = parse_request_line(raw)
+            if kind == "skip":
                 continue
             order.append(index)
-            try:
-                record = json.loads(line)
-                if not isinstance(record, dict):
-                    raise ValueError("record must be a JSON object")
-                op = record.get("op")
-                if op in CONTROL_OPS:
-                    controls.append((index, record))
-                    continue
-                if op not in QUERY_OPS:
-                    raise ValueError(
-                        f"unknown op {op!r}; expected one of "
-                        f"{', '.join(QUERY_OPS + CONTROL_OPS)}"
-                    )
-                requests.append((index, record))
-            except ValueError as error:  # includes json.JSONDecodeError
-                responses[index] = {
-                    "id": index,
-                    "ok": False,
-                    "error": f"malformed request: {error}",
-                }
+            if kind == "control":
+                controls.append((index, payload))
+            elif kind == "query":
+                requests.append((index, payload))
+            elif kind == "quit":
+                # ``quit`` is a serve/server control, meaningless inside a
+                # batch file — report it rather than silently dropping it.
+                responses[index] = error_response(
+                    payload, index, None,
+                    "op 'quit' is only valid in serve mode; expected one of "
+                    f"{', '.join(QUERY_OPS + CONTROL_OPS)}",
+                    ERROR_UNKNOWN_OP,
+                )
+            else:  # "error"
+                message, code, request = payload
+                responses[index] = error_response(request, index, None, message, code)
         self._execute_grouped(requests, responses)
         # Control responses are built after the queries ran, so a trailing
         # {"op": "stats"} reflects the batch it is part of.
@@ -226,7 +323,8 @@ class BatchRunner:
             session = self.pool.session(theory_name)
         except KmtError as error:
             for index, record in group:
-                out[index] = self._error_response(record, index, theory_name, error)
+                out[index] = error_response(record, index, theory_name, str(error),
+                                            ERROR_UNKNOWN_THEORY)
             return out
         with session.lock:
             for index, record in group:
@@ -239,23 +337,10 @@ class BatchRunner:
                     base["ok"] = True
                     base["result"] = execute_query(session, record)
                 except (KmtError, KeyError, TypeError, ValueError) as error:
-                    base = self._error_response(record, index, theory_name, error)
+                    message, code = classify_query_error(error)
+                    base = error_response(record, index, theory_name, message, code)
                 out[index] = base
         return out
-
-    @staticmethod
-    def _error_response(record, index, theory_name, error):
-        if isinstance(error, KeyError):
-            message = f"missing field {error.args[0]!r}"
-        else:
-            message = str(error)
-        return {
-            "id": record.get("id", index),
-            "op": record.get("op"),
-            "theory": theory_name,
-            "ok": False,
-            "error": message,
-        }
 
 
 def run_batch_lines(lines, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET,
@@ -268,30 +353,40 @@ def run_batch_lines(lines, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET,
 
 def serve(stdin, stdout, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, pool=None,
           cell_search=None):
-    """The ``repro serve`` loop: one JSON request per stdin line, answer per line.
+    """The blocking one-at-a-time serve loop (see also :mod:`repro.engine.server`).
 
-    Runs until EOF or ``{"op": "quit"}``.  The session pool persists across
+    One JSON request per stdin line, one answer per line, strictly in order;
+    runs until EOF or ``{"op": "quit"}``.  The session pool persists across
     requests, so a client issuing overlapping queries over time gets the same
-    amortization as a batch.  Returns the number of requests served.
+    amortization as a batch.  Returns the number of protocol-valid requests
+    served — malformed lines still get an error record on stdout but do not
+    count as served requests.
 
     Default ``id``s follow batch semantics: the 0-based stdin line number
     (blank and comment lines occupy a number but produce no response), so the
     running offset is threaded into each single-line ``run_lines`` call.
+
+    ``repro serve`` now runs the concurrent :class:`repro.engine.server.QueryServer`
+    by default; this loop remains as the ``--legacy`` implementation and as
+    the single-threaded baseline for ``benchmarks/bench_serve.py``.
     """
     runner = BatchRunner(pool=pool, default_theory=default_theory, budget=budget, jobs=1,
                          cell_search=cell_search)
     served = 0
     for lineno, raw in enumerate(stdin):
-        line = raw.strip()
-        if not line or line.startswith("#"):
+        kind, payload = parse_request_line(raw)
+        if kind == "skip":
             continue
-        try:
-            record = json.loads(line)
-            if isinstance(record, dict) and record.get("op") == "quit":
-                break
-        except ValueError:
-            pass  # run_lines reports the malformed line as an error record
-        for response in runner.run_lines([line], index_offset=lineno):
+        if kind == "quit":
+            break
+        if kind == "error":
+            # Answered, but not *served*: the line never was a valid request.
+            message, code, request = payload
+            stdout.write(json.dumps(error_response(request, lineno, None, message, code),
+                                    sort_keys=True) + "\n")
+            stdout.flush()
+            continue
+        for response in runner.run_lines([raw], index_offset=lineno):
             stdout.write(json.dumps(response, sort_keys=True) + "\n")
         stdout.flush()
         served += 1

@@ -113,9 +113,29 @@ class LRUCache:
 
 #: Process-wide memo for Brzozowski derivatives.  Derivatives are pure
 #: functions of hash-consed (theory-independent) restricted actions, so one
-#: shared table serves every session and theory; sessions install it into
-#: :mod:`repro.core.automata` on construction.
+#: shared table serves every session and theory; sessions holding the shared
+#: bundle install it into :mod:`repro.core.automata` on construction (a
+#: session built with a custom ``caches=`` bundle keeps its table private —
+#: auto-installing it would hijack every other session's derivative caching).
 DERIVATIVE_CACHE = LRUCache(maxsize=65536, name="deriv")
+
+
+def installed_derivative_stats():
+    """Stats for whatever derivative memo is *actually* installed process-wide.
+
+    Aggregators (pool/server ``stats`` responses) must report the table that
+    :func:`repro.core.automata.derivative` really consults — which is usually
+    :data:`DERIVATIVE_CACHE` but can be a custom table installed explicitly,
+    or nothing at all.  Returns a ``{"tables": {...}}`` block; the ``deriv``
+    entry is absent when no table is installed.
+    """
+    from repro.core import automata  # local import: keep core/engine decoupled
+
+    installed = automata.get_derivative_cache()
+    stats = getattr(installed, "stats", None)
+    if installed is None or not isinstance(stats, CacheStats):
+        return {"tables": {}}
+    return {"tables": {"deriv": stats.as_dict()}}
 
 
 class EngineCaches:

@@ -1,0 +1,829 @@
+"""A concurrent JSONL query server with shard affinity and session striping.
+
+This replaces the blocking one-line-at-a-time serve loop
+(:func:`repro.engine.batch.serve`) for served workloads.  The protocol is the
+same JSONL request/response format as ``kmt batch`` (see
+:mod:`repro.engine.batch` — parsing, validation and query execution are
+literally shared), extended with serving concerns:
+
+* **Bounded intake queue with backpressure** — at most ``queue_limit``
+  requests are in flight; a submitter either blocks (stdin / per-connection
+  reader threads, which turns into pipe/TCP backpressure on the client) or
+  receives a structured ``queue_full`` error (``block=False``).
+
+* **Shard affinity with session striping** — every query is routed to a
+  *shard*: a ``(theory, stripe)`` pair owning one persistent
+  :class:`~repro.engine.session.EngineSession`.  The stripe is chosen by
+  hashing the query *content*, so identical queries always land on the same
+  warm session (cache affinity) while distinct queries for one hot theory
+  spread over ``stripes`` sessions instead of serializing on a single
+  session the way ``BatchRunner._execute_grouped`` does.  Each shard is
+  pinned to exactly one worker thread, so sessions are never contended.
+
+* **Out-of-order completion with correct ids** — responses are emitted as
+  soon as their worker finishes; every response carries the request's ``id``
+  (defaulting to the client's 0-based input line number).  ``ordered=True``
+  buffers completions per client and releases them in submission order.
+
+* **Per-request deadlines** — ``"deadline_ms": N`` bounds a request's life
+  from submission (queue wait included).  Expiry is checked before execution
+  and cooperatively *during* normalization, signature enumeration and
+  automata comparison (see the ``cancel`` plumbing in
+  :mod:`repro.core.pushback` / :mod:`repro.smt.dpll` /
+  :mod:`repro.core.automata`); an expired request answers with error code
+  ``deadline_exceeded``.  Cancellation never corrupts session caches —
+  memo tables are only written on completion.
+
+* **Graceful drain** — ``{"op": "quit"}`` (and SIGTERM in the CLI) stops
+  intake, waits for every in-flight request to answer, then shuts the
+  workers down.  In socket mode ``quit`` is connection-scoped: that client
+  is drained and closed while the server keeps serving others.
+
+* **Observability** — the ``stats`` op reports, on top of the per-theory
+  cache accounting, a ``server`` block with queue depth/peak/limit,
+  completed/error counts per error code, and latency percentiles.  Control
+  ops (``stats``/``ping``) are answered inline by the submitting thread —
+  they bypass the bounded queue *and* ordered-mode buffering so
+  observability keeps working when the queue is jammed — which makes
+  ``stats`` an *immediate snapshot*: it does not wait for queries submitted
+  earlier on the same stream (wait for their responses first if you want
+  post-work numbers).
+
+Note on scaling: worker threads overlap wherever the GIL is released —
+client I/O, and theory oracles that call out of process (the paper's
+implementations use Z3 over IPC).  Pure in-process compute on CPython still
+serializes; ``benchmarks/bench_serve.py`` reports both regimes honestly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import socket
+import threading
+import time
+import zlib
+from collections import deque
+from queue import Full, Queue
+
+from repro.core.pushback import DEFAULT_BUDGET
+from repro.engine.batch import (
+    DEFAULT_THEORY,
+    ERROR_DEADLINE,
+    ERROR_INTERNAL,
+    ERROR_INVALID,
+    ERROR_QUEUE_FULL,
+    ERROR_SHUTDOWN,
+    ERROR_UNKNOWN_THEORY,
+    classify_query_error,
+    error_response,
+    execute_query,
+    parse_request_line,
+)
+from repro.engine.cache import installed_derivative_stats
+from repro.engine.session import EngineSession
+from repro.theories import build_theory
+from repro.utils.errors import DeadlineExceeded, KmtError
+
+_STOP = object()
+
+#: Shard-affinity fields: the request content that determines which stripe
+#: (and therefore which warm session) a query lands on.
+_AFFINITY_FIELDS = ("op", "left", "right", "term", "pred")
+
+#: How many recent request latencies back the percentile report.
+_LATENCY_WINDOW = 4096
+
+
+def _affinity_stripe(record, stripes):
+    """Stable content hash of a query onto ``range(stripes)``.
+
+    Identical queries must map to the same stripe so repeats hit that
+    session's caches; crc32 (not ``hash``) keeps the mapping stable across
+    processes and ``PYTHONHASHSEED``.
+    """
+    payload = "\x1f".join(str(record.get(field)) for field in _AFFINITY_FIELDS)
+    return zlib.crc32(payload.encode("utf-8", "backslashreplace")) % stripes
+
+
+class ShardedSessionPool:
+    """Persistent per-``(theory, stripe)`` engine sessions.
+
+    The striped analogue of :class:`repro.engine.batch.SessionPool`: a hot
+    theory gets up to ``stripes`` independent sessions so its queries can be
+    spread over that many workers.  ``theory_factory`` (default
+    :func:`repro.theories.build_theory`) is the injection point for wrapped
+    theories in tests and benchmarks.
+    """
+
+    def __init__(self, stripes=4, budget=DEFAULT_BUDGET, prune_unsat_cells=True,
+                 cell_search="signature", theory_factory=None):
+        if stripes < 1:
+            raise ValueError(f"stripes must be at least 1, got {stripes}")
+        self.stripes = stripes
+        self.budget = budget
+        self.prune_unsat_cells = prune_unsat_cells
+        self.cell_search = cell_search
+        self.theory_factory = build_theory if theory_factory is None else theory_factory
+        self._sessions = {}  # (theory_name, stripe) -> EngineSession
+        self._lock = threading.Lock()
+
+    def session(self, theory_name, stripe=0):
+        key = (theory_name.lower(), stripe % self.stripes)
+        with self._lock:
+            existing = self._sessions.get(key)
+            if existing is not None:
+                return existing
+        # Build outside the lock (theory construction may be slow or raise
+        # for unknown presets); a racing duplicate is discarded.
+        session = EngineSession(
+            self.theory_factory(key[0]), budget=self.budget,
+            prune_unsat_cells=self.prune_unsat_cells, cell_search=self.cell_search,
+        )
+        with self._lock:
+            return self._sessions.setdefault(key, session)
+
+    def theories(self):
+        with self._lock:
+            return sorted({name for name, _ in self._sessions})
+
+    def stats(self):
+        """Per-theory cache accounting aggregated over stripes.
+
+        Same top-level shape as ``SessionPool.stats()`` — theory names plus a
+        ``"shared"`` block for whatever derivative memo is actually installed
+        — with per-theory blocks additionally reporting the live stripe count.
+        """
+        with self._lock:
+            sessions = dict(self._sessions)
+        by_theory = {}
+        for (name, _), session in sorted(sessions.items()):
+            by_theory.setdefault(name, []).append(session.stats(include_shared=False))
+        out = {}
+        for name, blocks in by_theory.items():
+            tables = {}
+            for block in blocks:
+                for table_name, table in block["tables"].items():
+                    agg = tables.setdefault(
+                        table_name,
+                        {"name": table_name, "hits": 0, "misses": 0, "puts": 0, "evictions": 0},
+                    )
+                    for counter in ("hits", "misses", "puts", "evictions"):
+                        agg[counter] += table[counter]
+            for table in tables.values():
+                lookups = table["hits"] + table["misses"]
+                table["hit_rate"] = round(table["hits"] / lookups, 4) if lookups else 0.0
+            out[name] = {
+                "stripes": len(blocks),
+                "queries": sum(block["session"]["queries"] for block in blocks),
+                "tables": tables,
+                "totals": {
+                    "hits": sum(block["totals"]["hits"] for block in blocks),
+                    "misses": sum(block["totals"]["misses"] for block in blocks),
+                },
+            }
+        out["shared"] = installed_derivative_stats()
+        return out
+
+
+class ResponseSink:
+    """Thread-safe response writer for one client (stdout or a socket).
+
+    Assigns per-client sequence numbers at submission time; ``ordered=True``
+    buffers out-of-order completions in a heap and releases them in
+    submission order.  A write failure (client went away) marks the sink
+    broken and silently drops the remaining responses — workers must never
+    die because a client hung up.
+    """
+
+    def __init__(self, write_line, ordered=False):
+        self._write_line = write_line
+        self.ordered = ordered
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        self._next_seq = 0   # next sequence number to assign
+        self._next_emit = 0  # (ordered) next sequence to release
+        self._written = 0    # responses actually written (or dropped as broken)
+        self._pending = []   # (ordered) heap of (seq, serialized line)
+        self.broken = False
+
+    def next_seq(self):
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            return seq
+
+    def _write(self, line):
+        if not self.broken:
+            try:
+                self._write_line(line)
+            except (OSError, ValueError):
+                self.broken = True
+        self._written += 1
+        self._drained.notify_all()
+
+    def emit(self, seq, response):
+        line = json.dumps(response, sort_keys=True)
+        with self._lock:
+            if not self.ordered:
+                self._write(line)
+                return
+            heapq.heappush(self._pending, (seq, line))
+            while self._pending and self._pending[0][0] == self._next_emit:
+                _, ready = heapq.heappop(self._pending)
+                self._next_emit += 1
+                self._write(ready)
+
+    def emit_now(self, response):
+        """Write immediately, outside the sequence stream (control responses).
+
+        ``stats``/``ping`` replies jump the line even under ordered mode —
+        observability must not wait behind jammed queries — so they carry no
+        sequence number and do not count toward :meth:`wait_drained`.
+        """
+        line = json.dumps(response, sort_keys=True)
+        with self._lock:
+            if not self.broken:
+                try:
+                    self._write_line(line)
+                except (OSError, ValueError):
+                    self.broken = True
+
+    def wait_drained(self, timeout=None):
+        """Block until every assigned sequence number has been written."""
+        with self._lock:
+            return self._drained.wait_for(
+                lambda: self._written >= self._next_seq, timeout=timeout
+            )
+
+
+class _Request:
+    __slots__ = ("record", "theory", "stripe", "sink", "seq", "fallback_id",
+                 "submitted", "deadline", "deadline_ms")
+
+    def __init__(self, record, theory, stripe, sink, seq, fallback_id, submitted,
+                 deadline, deadline_ms):
+        self.record = record
+        self.theory = theory
+        self.stripe = stripe
+        self.sink = sink
+        self.seq = seq
+        self.fallback_id = fallback_id
+        self.submitted = submitted
+        self.deadline = deadline
+        self.deadline_ms = deadline_ms
+
+
+class QueryServer:
+    """The scheduler: bounded intake, shard-affine dispatch, worker threads.
+
+    Front ends (:func:`serve_stdio`, :class:`SocketServer`) feed raw protocol
+    lines to :meth:`submit_line` together with the client's
+    :class:`ResponseSink`; everything after that — validation, backpressure,
+    shard routing, deadline handling, emission — happens here.  Usable as a
+    context manager (``with QueryServer() as server: ...``), which drains on
+    exit.
+    """
+
+    def __init__(self, workers=4, stripes=None, queue_limit=128, default_theory=DEFAULT_THEORY,
+                 budget=DEFAULT_BUDGET, cell_search="signature", theory_factory=None, pool=None):
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be at least 1, got {queue_limit}")
+        self.workers = workers
+        self.stripes = workers if stripes is None else stripes
+        self.queue_limit = queue_limit
+        self.default_theory = default_theory
+        if pool is not None:
+            self.pool = pool
+            self.stripes = pool.stripes
+        else:
+            self.pool = ShardedSessionPool(
+                stripes=self.stripes, budget=budget, cell_search=cell_search,
+                theory_factory=theory_factory,
+            )
+        self._queues = [Queue() for _ in range(workers)]
+        self._threads = []
+        self._capacity = threading.Semaphore(queue_limit)
+        self._state = threading.Lock()
+        self._idle = threading.Condition(self._state)
+        self._in_flight = 0       # queued or executing
+        self._queued = 0          # queued, not yet picked up by a worker
+        self._peak_queued = 0
+        self._completed = 0
+        self._error_counts = {}
+        self._latencies = deque(maxlen=_LATENCY_WINDOW)
+        self._accepting = True
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        if self._started:
+            return self
+        self._started = True
+        for index, queue in enumerate(self._queues):
+            thread = threading.Thread(
+                target=self._worker_loop, args=(queue,),
+                name=f"kmt-server-worker-{index}", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.shutdown(drain=exc_type is None)
+
+    def drain(self):
+        """Stop accepting new queries and wait for all in-flight to answer."""
+        with self._state:
+            self._accepting = False
+            self._idle.wait_for(lambda: self._in_flight == 0)
+
+    def wait_idle(self, timeout=None):
+        """Wait for in-flight work to finish without stopping intake."""
+        with self._state:
+            return self._idle.wait_for(lambda: self._in_flight == 0, timeout=timeout)
+
+    def shutdown(self, drain=True):
+        """Drain (optionally) and stop the worker threads."""
+        if drain:
+            self.drain()
+        else:
+            with self._state:
+                self._accepting = False
+        if self._started:
+            for queue in self._queues:
+                queue.put(_STOP)
+            for thread in self._threads:
+                thread.join()
+            self._threads = []
+            self._started = False
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+    def submit_line(self, raw, sink, lineno=None, block=True, timeout=None):
+        """Parse and dispatch one raw protocol line for a client.
+
+        Returns the line's disposition: ``"skip"``, ``"quit"``, ``"control"``,
+        ``"queued"``, ``"error"`` (protocol-invalid line) or ``"rejected"``
+        (valid query refused by backpressure/shutdown — the client got a
+        structured error response).  ``block=False`` turns a full queue into
+        an immediate ``queue_full`` rejection instead of blocking the caller.
+        """
+        kind, payload = parse_request_line(raw)
+        if kind == "skip":
+            return "skip"
+        if kind == "quit":
+            return "quit"
+        if kind == "control":
+            # Answered inline and emitted out-of-band (no sequence number):
+            # control ops bypass both the bounded queue and ordered-mode
+            # buffering so observability works while the queue is jammed.
+            record = payload
+            fallback_id = lineno if lineno is not None else record.get("id")
+            sink.emit_now(self._control_response(record, fallback_id))
+            return "control"
+        seq = sink.next_seq()
+        fallback_id = lineno if lineno is not None else seq
+        if kind == "error":
+            message, code, request = payload
+            self._count_error(code)
+            sink.emit(seq, error_response(request, fallback_id, None, message, code))
+            return "error"
+        record = payload
+        theory = str(record.get("theory", self.default_theory)).lower()
+        deadline, deadline_ms, deadline_error = self._parse_deadline(record)
+        if deadline_error is not None:
+            self._count_error(ERROR_INVALID)
+            sink.emit(seq, error_response(record, fallback_id, theory, deadline_error,
+                                          ERROR_INVALID))
+            return "error"
+        with self._state:
+            accepting = self._accepting
+        if not accepting:
+            self._count_error(ERROR_SHUTDOWN)
+            sink.emit(seq, error_response(
+                record, fallback_id, theory, "server is shutting down", ERROR_SHUTDOWN))
+            return "rejected"
+        if not self._capacity.acquire(blocking=block, timeout=timeout):
+            self._count_error(ERROR_QUEUE_FULL)
+            sink.emit(seq, error_response(
+                record, fallback_id, theory,
+                f"request queue is full (limit {self.queue_limit})", ERROR_QUEUE_FULL))
+            return "rejected"
+        stripe = _affinity_stripe(record, self.stripes)
+        request = _Request(record, theory, stripe, sink, seq, fallback_id,
+                           time.monotonic(), deadline, deadline_ms)
+        with self._state:
+            if not self._accepting:
+                # Raced with drain()/shutdown(): refuse rather than wedge it.
+                self._capacity.release()
+                self._count_error_locked(ERROR_SHUTDOWN)
+                rejected = True
+            else:
+                self._in_flight += 1
+                self._queued += 1
+                self._peak_queued = max(self._peak_queued, self._queued)
+                # Enqueue under the state lock: shutdown() flips _accepting
+                # under the same lock before posting _STOP sentinels, so a
+                # request can never land behind a sentinel and silently vanish
+                # (worker queues are unbounded — this put cannot block).
+                self._queues[self._worker_index(theory, stripe)].put(request)
+                rejected = False
+        if rejected:
+            sink.emit(seq, error_response(
+                record, fallback_id, theory, "server is shutting down", ERROR_SHUTDOWN))
+            return "rejected"
+        return "queued"
+
+    @staticmethod
+    def _parse_deadline(record):
+        """Extract ``deadline_ms``; returns ``(deadline, ms, error_message)``."""
+        deadline_ms = record.get("deadline_ms")
+        if deadline_ms is None:
+            return None, None, None
+        if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, (int, float)) \
+                or deadline_ms <= 0:
+            return None, None, f"deadline_ms must be a positive number, got {deadline_ms!r}"
+        return time.monotonic() + deadline_ms / 1000.0, deadline_ms, None
+
+    def _worker_index(self, theory, stripe):
+        # Pin each (theory, stripe) shard to one worker so its session is
+        # never touched by two threads; offsetting by a theory hash keeps a
+        # hot theory's stripes covering all workers.
+        return (zlib.crc32(theory.encode("utf-8", "backslashreplace")) + stripe) % self.workers
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _worker_loop(self, queue):
+        while True:
+            request = queue.get()
+            if request is _STOP:
+                return
+            with self._state:
+                self._queued -= 1
+            try:
+                response = self._execute(request)
+            except Exception as error:  # noqa: BLE001 — a lost seq wedges ordered sinks
+                message, code = str(error), ERROR_INTERNAL
+                response = error_response(request.record, request.fallback_id,
+                                          request.theory, message, code)
+            request.sink.emit(request.seq, response)
+            latency = time.monotonic() - request.submitted
+            self._capacity.release()
+            with self._state:
+                self._in_flight -= 1
+                self._completed += 1
+                self._latencies.append(latency)
+                code = response.get("error_code")
+                if code is not None:
+                    self._error_counts[code] = self._error_counts.get(code, 0) + 1
+                if self._in_flight == 0:
+                    self._idle.notify_all()
+
+    def _execute(self, request):
+        record = request.record
+        if request.deadline is not None and time.monotonic() >= request.deadline:
+            return error_response(
+                record, request.fallback_id, request.theory,
+                f"deadline of {request.deadline_ms} ms expired while queued",
+                ERROR_DEADLINE)
+        cancel = None
+        if request.deadline is not None:
+            deadline, deadline_ms = request.deadline, request.deadline_ms
+
+            def cancel():
+                if time.monotonic() >= deadline:
+                    raise DeadlineExceeded(deadline_ms)
+        try:
+            session = self.pool.session(request.theory, request.stripe)
+        except KmtError as error:
+            return error_response(record, request.fallback_id, request.theory,
+                                  str(error), ERROR_UNKNOWN_THEORY)
+        base = {
+            "id": record.get("id", request.fallback_id),
+            "op": record["op"],
+            "theory": request.theory,
+        }
+        try:
+            with session.lock:
+                base["ok"] = True
+                base["result"] = execute_query(session, record, cancel=cancel)
+        except (KmtError, KeyError, TypeError, ValueError) as error:
+            message, code = classify_query_error(error)
+            return error_response(record, request.fallback_id, request.theory, message, code)
+        return base
+
+    # ------------------------------------------------------------------
+    # control / observability
+    # ------------------------------------------------------------------
+    def _count_error(self, code):
+        with self._state:
+            self._count_error_locked(code)
+
+    def _count_error_locked(self, code):
+        self._error_counts[code] = self._error_counts.get(code, 0) + 1
+
+    def server_stats(self):
+        """Scheduler-level counters: queue gauges and latency percentiles."""
+        with self._state:
+            latencies = sorted(self._latencies)
+            queued = self._queued
+            peak = self._peak_queued
+            in_flight = self._in_flight
+            completed = self._completed
+            errors = dict(self._error_counts)
+
+        def percentile(fraction):
+            if not latencies:
+                return None
+            index = min(len(latencies) - 1, int(fraction * len(latencies)))
+            return round(latencies[index] * 1000.0, 3)
+
+        return {
+            "workers": self.workers,
+            "stripes": self.stripes,
+            "queue": {
+                "depth": queued,
+                "peak": peak,
+                "limit": self.queue_limit,
+                "in_flight": in_flight,
+            },
+            "requests": {"completed": completed, "errors": errors},
+            "latency_ms": {
+                "count": len(latencies),
+                "p50": percentile(0.50),
+                "p90": percentile(0.90),
+                "p99": percentile(0.99),
+                "max": round(latencies[-1] * 1000.0, 3) if latencies else None,
+            },
+        }
+
+    def _control_response(self, record, fallback_id):
+        response = {"id": record.get("id", fallback_id), "op": record["op"], "ok": True}
+        if record["op"] == "stats":
+            result = self.pool.stats()
+            result["server"] = self.server_stats()
+            response["result"] = result
+        else:
+            response["result"] = {"pong": True, "theories": self.pool.theories()}
+        return response
+
+
+# ---------------------------------------------------------------------------
+# front ends
+# ---------------------------------------------------------------------------
+
+
+def serve_stdio(stdin, stdout, workers=4, stripes=None, queue_limit=128, ordered=False,
+                default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, cell_search="signature",
+                theory_factory=None, server=None):
+    """Serve the JSONL protocol from ``stdin`` to ``stdout`` concurrently.
+
+    The drop-in concurrent replacement for :func:`repro.engine.batch.serve`:
+    same protocol, same default-``id`` semantics (0-based input line number),
+    but requests overlap across worker shards and completions are emitted
+    out-of-order unless ``ordered=True``.  Runs until EOF or
+    ``{"op": "quit"}``, drains in-flight requests, and returns the number of
+    protocol-valid requests accepted (malformed lines are answered with error
+    records but not counted — same contract as the fixed legacy loop).
+
+    An externally-managed ``server`` may be passed (it is then only drained,
+    not shut down); otherwise one is created from the keyword options.
+    """
+    own_server = server is None
+    if own_server:
+        server = QueryServer(workers=workers, stripes=stripes, queue_limit=queue_limit,
+                             default_theory=default_theory, budget=budget,
+                             cell_search=cell_search, theory_factory=theory_factory)
+    server.start()
+    sink = ResponseSink(
+        lambda line: (stdout.write(line + "\n"), stdout.flush()), ordered=ordered)
+    served = 0
+    try:
+        for lineno, raw in enumerate(stdin):
+            outcome = server.submit_line(raw, sink, lineno=lineno)
+            if outcome == "quit":
+                break
+            if outcome in ("queued", "control"):
+                served += 1
+    finally:
+        if own_server:
+            server.shutdown(drain=True)
+        else:
+            # A shared server stays usable for other clients: wait for this
+            # stream's work without flipping the server to non-accepting.
+            server.wait_idle()
+        sink.wait_drained(timeout=5.0)
+    return served
+
+
+#: Per-connection bound on responses waiting for a slow client to read them.
+#: A client further behind than this is treated as gone: its sink goes broken
+#: and later responses for it are dropped, so one reader that stalls can never
+#: wedge the workers (and with them every other client).
+_WRITER_QUEUE_LIMIT = 256
+
+
+class _ConnectionWriter:
+    """Decouples workers from client sockets with a bounded queue + writer thread.
+
+    Workers must never block on a slow client's TCP send buffer while holding
+    global queue capacity.  ``write_line`` therefore only enqueues (raising
+    ``OSError`` when the client is :data:`_WRITER_QUEUE_LIMIT` responses
+    behind, which flips the sink to broken); the dedicated writer thread does
+    the actual blocking socket I/O.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(self, stream):
+        self._stream = stream
+        self._queue = Queue(maxsize=_WRITER_QUEUE_LIMIT)
+        self._broken = False
+        self._thread = threading.Thread(target=self._loop, name="kmt-server-writer",
+                                        daemon=True)
+        self._thread.start()
+
+    def write_line(self, line):
+        try:
+            self._queue.put_nowait(line)
+        except Full:
+            raise OSError(
+                f"client is more than {_WRITER_QUEUE_LIMIT} responses behind") from None
+
+    def _loop(self):
+        while True:
+            item = self._queue.get()
+            if item is self._SENTINEL:
+                return
+            if self._broken:
+                continue  # keep consuming so producers/close never block
+            try:
+                self._stream.write(item + "\n")
+                self._stream.flush()
+            except (OSError, ValueError):
+                self._broken = True
+
+    def close(self, force_close=None, timeout=10.0):
+        """Flush queued responses and stop the writer thread.
+
+        ``force_close`` (a callable shutting the socket) is invoked when the
+        writer is stuck mid-``flush`` on an unresponsive client — closing the
+        socket makes the blocked write raise so the thread can exit.
+        """
+        try:
+            self._queue.put(self._SENTINEL, timeout=timeout)
+        except Full:
+            self._broken = True
+            if force_close is not None:
+                force_close()
+            self._queue.put(self._SENTINEL)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive() and force_close is not None:
+            force_close()
+            self._thread.join(timeout=timeout)
+
+
+class SocketServer:
+    """TCP front end: one JSONL protocol conversation per connection.
+
+    Each accepted connection gets a reader thread and its own
+    :class:`ResponseSink` (so ids, ordering and backpressure blocking are all
+    per-client).  ``{"op": "quit"}`` is connection-scoped — that client is
+    drained and closed while the server keeps running; stop the whole server
+    with :meth:`close` (the CLI wires SIGTERM to it).
+
+    ``port=0`` binds an ephemeral port; the actual one is in ``self.port``
+    after :meth:`start`.
+    """
+
+    def __init__(self, host="127.0.0.1", port=0, server=None, ordered=False, **server_options):
+        self.host = host
+        self.requested_port = port
+        self.port = None
+        self.ordered = ordered
+        self.server = server if server is not None else QueryServer(**server_options)
+        self._listener = None
+        self._accept_thread = None
+        self._conn_threads = []
+        self._conns = set()
+        self._conn_lock = threading.Lock()
+        self._closing = False
+
+    def start(self):
+        self.server.start()
+        self._listener = socket.create_server((self.host, self.requested_port))
+        # A thread blocked in accept() is not reliably woken by closing the
+        # listener from another thread; poll with a short timeout instead so
+        # close() completes promptly.
+        self._listener.settimeout(0.2)
+        self.port = self._listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="kmt-server-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close(drain=exc_type is None)
+
+    def _accept_loop(self):
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except TimeoutError:
+                with self._conn_lock:
+                    if self._closing:
+                        return
+                continue
+            except OSError:
+                return  # listener closed
+            conn.settimeout(None)  # inherited accept timeout must not apply to I/O
+            thread = threading.Thread(
+                target=self._handle_connection, args=(conn,),
+                name="kmt-server-conn", daemon=True)
+            with self._conn_lock:
+                if self._closing:
+                    conn.close()
+                    return
+                self._conn_threads.append(thread)
+                self._conns.add(conn)
+            thread.start()
+
+    @staticmethod
+    def _force_close(conn):
+        try:
+            conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def _handle_connection(self, conn):
+        reader = conn.makefile("r", encoding="utf-8", newline="\n")
+        writer_stream = conn.makefile("w", encoding="utf-8", newline="\n")
+        writer = _ConnectionWriter(writer_stream)
+        sink = ResponseSink(writer.write_line, ordered=self.ordered)
+        try:
+            for lineno, raw in enumerate(reader):
+                outcome = self.server.submit_line(raw, sink, lineno=lineno)
+                if outcome == "quit":
+                    break
+        except (OSError, ValueError):
+            pass  # client went away mid-read; drain whatever was accepted
+        finally:
+            # Connection-scoped drain: every accepted request is handed to the
+            # writer before the socket closes (unless the client is gone).
+            sink.wait_drained(timeout=30.0)
+            writer.close(force_close=lambda: self._force_close(conn))
+            for handle in (reader, writer_stream):
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+            self._force_close(conn)
+            with self._conn_lock:
+                self._conns.discard(conn)
+                try:
+                    self._conn_threads.remove(threading.current_thread())
+                except ValueError:
+                    pass  # close() already snapshotted the list
+
+    def close(self, drain=True):
+        """Stop accepting, optionally drain in-flight work, stop the workers."""
+        with self._conn_lock:
+            self._closing = True
+            threads = list(self._conn_threads)
+            conns = list(self._conns)
+        if self._listener is not None:
+            self._listener.close()
+        # Stop intake FIRST: shutting the read side unblocks (and EOFs) every
+        # connection reader, so no client can keep streaming new requests
+        # while we wait — otherwise a chatty client could hold the drain open
+        # forever.  Handlers still flush responses for already-accepted
+        # requests before closing their sockets.
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+        if drain:
+            self.server.wait_idle()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        self.server.shutdown(drain=drain)

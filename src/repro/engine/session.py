@@ -26,7 +26,7 @@ from repro.core import terms as T
 from repro.core.kmt import KMT
 from repro.core.pushback import DEFAULT_BUDGET, Normalizer
 from repro.engine import intern
-from repro.engine.cache import EngineCaches
+from repro.engine.cache import DERIVATIVE_CACHE, EngineCaches
 
 _MISS = object()
 
@@ -38,12 +38,14 @@ class EngineSession:
                  cell_search="signature"):
         intern.install()
         self.caches = caches if caches is not None else EngineCaches()
-        # The automata memo is a process-wide slot: the first session installs
-        # its (normally shared) derivative cache; later sessions never clobber
-        # an already-installed one, so a custom per-bundle table cannot
-        # silently redirect other live sessions' derivative caching.
-        if automata.get_derivative_cache() is None:
-            automata.set_derivative_cache(self.caches.deriv)
+        # The automata memo is a process-wide slot.  Only the *shared* table is
+        # ever auto-installed: a session built with a custom ``caches=`` bundle
+        # must not publish its private derivative table process-wide (it would
+        # silently redirect every other session's derivative caching, and pool
+        # stats would report the wrong table).  Custom bundles that really want
+        # a global table can call ``automata.set_derivative_cache`` themselves.
+        if self.caches.deriv is DERIVATIVE_CACHE and automata.get_derivative_cache() is None:
+            automata.set_derivative_cache(DERIVATIVE_CACHE)
         self.kmt = KMT(
             theory, budget=budget, prune_unsat_cells=prune_unsat_cells, caches=self.caches,
             cell_search=cell_search,
@@ -80,20 +82,33 @@ class EngineSession:
     # ------------------------------------------------------------------
     # cached normalization
     # ------------------------------------------------------------------
-    def normalize(self, term):
-        """Normalize a term, reusing the session's normal-form cache."""
-        self.queries += 1
-        return self._normalize_cached(term)
+    def normalize(self, term, cancel=None):
+        """Normalize a term, reusing the session's normal-form cache.
 
-    def _normalize_cached(self, term):
+        ``cancel`` (here and on every decision entry point) is an optional
+        cooperative-cancellation callable threaded down into normalization,
+        the signature/cell search and the automata comparison; it aborts the
+        query by raising — typically
+        :class:`~repro.utils.errors.DeadlineExceeded`, which the query server
+        maps to a ``deadline_exceeded`` error response.  Cancellation is safe
+        mid-query: every memo table is only written on completion.
+        """
+        self.queries += 1
+        return self._normalize_cached(term, cancel=cancel)
+
+    def _normalize_cached(self, term, cancel=None):
         term = self._coerce_term(term)
         key = self.caches.term_key(term)
         cached = self.caches.norm.get(key, _MISS)
         if cached is not _MISS:
             return cached
         self._normalizer.reset_stats()
-        nf = self._normalizer.normalize(term)
-        self._cumulative_steps += self._normalizer.stats.steps
+        self._normalizer.cancel = cancel
+        try:
+            nf = self._normalizer.normalize(term)
+        finally:
+            self._normalizer.cancel = None
+            self._cumulative_steps += self._normalizer.stats.steps
         self.caches.norm.put(key, nf)
         return nf
 
@@ -102,24 +117,24 @@ class EngineSession:
     # ------------------------------------------------------------------
     # ``queries`` counts public entry points, once each — internal
     # normalization sub-calls do not inflate it.
-    def check_equivalent(self, p, q):
+    def check_equivalent(self, p, q, cancel=None):
         """Decide ``p == q`` with full result; both normal forms are cached."""
         self.queries += 1
-        x = self._normalize_cached(p)
-        y = self._normalize_cached(q)
-        return self.kmt.checker.check_equivalent_nf(x, y)
+        x = self._normalize_cached(p, cancel=cancel)
+        y = self._normalize_cached(q, cancel=cancel)
+        return self.kmt.checker.check_equivalent_nf(x, y, cancel=cancel)
 
     def equivalent(self, p, q):
         return self.check_equivalent(p, q).equivalent
 
-    def less_or_equal(self, p, q):
+    def less_or_equal(self, p, q, cancel=None):
         """``p <= q`` i.e. ``p + q == q``."""
         p, q = self._coerce_term(p), self._coerce_term(q)
-        return self.equivalent(T.tplus(p, q), q)
+        return self.check_equivalent(T.tplus(p, q), q, cancel=cancel).equivalent
 
-    def is_empty(self, p):
+    def is_empty(self, p, cancel=None):
         self.queries += 1
-        return self.kmt.checker.is_empty_nf(self._normalize_cached(p))
+        return self.kmt.checker.is_empty_nf(self._normalize_cached(p, cancel=cancel))
 
     def satisfiable(self, pred):
         """Satisfiability of a predicate, memoized by fingerprint."""

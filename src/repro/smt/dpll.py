@@ -142,7 +142,7 @@ class SignatureSearchStats:
         return f"SignatureSearchStats({self.as_dict()})"
 
 
-def enumerate_signatures(guards, theory, satisfiable=None, stats=None):
+def enumerate_signatures(guards, theory, satisfiable=None, stats=None, cancel=None):
     """Enumerate the theory-realizable truth valuations of ``guards``.
 
     ``guards`` is a list of predicates over the theory's primitive tests.  A
@@ -169,7 +169,10 @@ def enumerate_signatures(guards, theory, satisfiable=None, stats=None):
 
     ``satisfiable`` optionally overrides the consistency oracle (a callable
     on literal lists — the decision procedure passes a memoized wrapper);
-    ``stats`` optionally collects :class:`SignatureSearchStats` counters.
+    ``stats`` optionally collects :class:`SignatureSearchStats` counters;
+    ``cancel`` is an optional cooperative-cancellation callable invoked once
+    per decision, aborting the enumeration by raising (see
+    :class:`~repro.utils.errors.QueryCancelled`).
     """
     guards = list(guards)
     if stats is None:
@@ -179,7 +182,7 @@ def enumerate_signatures(guards, theory, satisfiable=None, stats=None):
             return not literals or theory.satisfiable_conjunction(literals)
     blocked = []  # original (unsubstituted) blocking clauses, grown per model
     yield from _search_signatures(guards, list(guards), [], 0, [], blocked,
-                                  satisfiable, stats)
+                                  satisfiable, stats, cancel)
 
 
 def _import_clauses(clauses, imported, literals, blocked, stats):
@@ -204,7 +207,7 @@ def _import_clauses(clauses, imported, literals, blocked, stats):
 
 
 def _search_signatures(originals, guards, clauses, imported, literals, blocked,
-                       satisfiable, stats):
+                       satisfiable, stats, cancel=None):
     state = _import_clauses(clauses, imported, literals, blocked, stats)
     if state is None:
         return
@@ -234,6 +237,8 @@ def _search_signatures(originals, guards, clauses, imported, literals, blocked,
         yield signature, list(literals)
         return
     stats.decisions += 1
+    if cancel is not None:
+        cancel()
     for polarity in (True, False):
         extended = literals + [(alpha, polarity)]
         if not satisfiable(extended):
@@ -252,6 +257,7 @@ def _search_signatures(originals, guards, clauses, imported, literals, blocked,
             blocked,
             satisfiable,
             stats,
+            cancel,
         )
 
 

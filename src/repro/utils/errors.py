@@ -42,3 +42,27 @@ class NormalizationBudgetExceeded(KmtError):
 
 class SolverError(KmtError):
     """A satisfiability query could not be answered by the available solvers."""
+
+
+class QueryCancelled(KmtError):
+    """A long-running query was cancelled cooperatively.
+
+    The decision-procedure layers (normalization, signature enumeration,
+    automata comparison) accept an optional ``cancel`` callable and invoke it
+    at their progress points; the callable signals cancellation by raising a
+    subclass of this error, which unwinds the search without corrupting any
+    memo table (results are only published on completion).
+    """
+
+
+class DeadlineExceeded(QueryCancelled):
+    """A query ran past its caller-supplied deadline (``deadline_ms``)."""
+
+    def __init__(self, deadline_ms=None, message=None):
+        self.deadline_ms = deadline_ms
+        if message is None:
+            if deadline_ms is not None:
+                message = f"query exceeded its deadline of {deadline_ms} ms"
+            else:
+                message = "query exceeded its deadline"
+        super().__init__(message)
