@@ -155,6 +155,7 @@ def cmd_serve(args):
     server = QueryServer(
         workers=args.workers, stripes=args.stripes, queue_limit=args.queue_limit,
         default_theory=args.theory, budget=args.budget, cell_search=args.cell_search,
+        backend=args.backend,
     )
 
     class _Terminated(Exception):
@@ -173,7 +174,8 @@ def cmd_serve(args):
         socket_server = SocketServer(host=host, port=port, server=server, ordered=args.ordered)
         socket_server.start()
         print(f"# listening on {host}:{socket_server.port} "
-              f"({args.workers} workers, {server.stripes} stripes)", file=sys.stderr)
+              f"({args.workers} {args.backend} workers, {server.stripes} stripes)",
+              file=sys.stderr)
         try:
             threading.Event().wait()  # serve until SIGTERM / SIGINT
         except (_Terminated, KeyboardInterrupt):
@@ -269,7 +271,16 @@ def make_arg_parser():
     )
     serve.add_argument(
         "--workers", type=int, default=4,
-        help="worker threads executing queries (default: 4)",
+        help="workers executing queries (default: 4)",
+    )
+    serve.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help=(
+            "execution backend: worker threads in this process (default; best "
+            "when queries wait on external oracles or I/O) or worker processes "
+            "(true parallelism for CPU-bound queries on multi-core machines); "
+            "ignored under --legacy"
+        ),
     )
     serve.add_argument(
         "--stripes", type=int, default=None,

@@ -18,8 +18,10 @@ that work across queries:
   ``concurrent.futures`` pool;
 * :mod:`repro.engine.server` — the concurrent query server: bounded intake
   queue with backpressure, per-``(theory, stripe)`` session shards pinned to
-  worker threads, per-request deadlines with cooperative cancellation,
-  out-of-order or ordered emission, and stdio/TCP front ends.
+  workers (threads in-process, or worker *processes* for true CPU
+  parallelism — crashed workers are respawned by a supervisor), per-request
+  deadlines with cooperative cancellation, out-of-order or ordered emission,
+  and stdio/TCP front ends.
 """
 
 from repro.engine.cache import CacheStats, EngineCaches, LRUCache
@@ -27,10 +29,12 @@ from repro.engine.intern import fingerprint, fingerprint_normal_form
 from repro.engine.session import EngineSession
 from repro.engine.batch import BatchRunner, SessionPool, run_batch_lines, serve
 from repro.engine.server import (
+    ProcessExecutionBackend,
     QueryServer,
     ResponseSink,
     ShardedSessionPool,
     SocketServer,
+    ThreadExecutionBackend,
     serve_stdio,
 )
 
@@ -40,11 +44,13 @@ __all__ = [
     "EngineCaches",
     "EngineSession",
     "LRUCache",
+    "ProcessExecutionBackend",
     "QueryServer",
     "ResponseSink",
     "SessionPool",
     "ShardedSessionPool",
     "SocketServer",
+    "ThreadExecutionBackend",
     "fingerprint",
     "fingerprint_normal_form",
     "run_batch_lines",

@@ -41,7 +41,7 @@ from repro.core.pushback import DEFAULT_BUDGET
 from repro.engine.cache import installed_derivative_stats
 from repro.engine.session import EngineSession
 from repro.theories import build_theory
-from repro.utils.errors import KmtError, ParseError, QueryCancelled
+from repro.utils.errors import KmtError, ParseError, QueryCancelled, WireProtocolError
 
 #: Ops that dispatch to a theory session.
 QUERY_OPS = ("equiv", "leq", "norm", "sat", "empty")
@@ -63,6 +63,7 @@ ERROR_INVALID = "invalid_request"
 ERROR_DEADLINE = "deadline_exceeded"
 ERROR_QUEUE_FULL = "queue_full"
 ERROR_SHUTDOWN = "shutting_down"
+ERROR_WORKER_CRASHED = "worker_crashed"
 ERROR_INTERNAL = "internal_error"
 
 
@@ -101,6 +102,215 @@ def parse_request_line(raw):
         ERROR_UNKNOWN_OP,
         record,
     )
+
+
+# ---------------------------------------------------------------------------
+# compact wire form (request/response serialization for the process backend)
+# ---------------------------------------------------------------------------
+#
+# The process execution backend (:mod:`repro.engine.server`) ships every
+# request to a worker process and every response back; rather than pickling
+# parsed records, both directions round-trip through a *compact wire form*: a
+# positional JSON array with a version tag, so the cross-process protocol is
+# explicit, validated and language-agnostic.  ``decode ∘ encode`` is exact
+# (``decode_wire_request(encode_wire_request(r)) == r`` for every record
+# ``parse_request_line`` classifies as query/control/quit — including records
+# with *missing* required fields, which must reach the worker unchanged so it
+# reports the same ``missing_field`` error the thread backend would).
+#
+# Optional slots use a presence encoding: ``0`` for "absent", ``[value]`` for
+# "present" — a plain ``null`` could not distinguish ``{"id": null}`` from no
+# ``id`` at all.
+
+WIRE_VERSION = 1
+
+#: Per-op payload fields, in wire (positional) order.
+_WIRE_FIELDS = {
+    "equiv": ("left", "right"),
+    "leq": ("left", "right"),
+    "norm": ("term",),
+    "sat": ("pred",),
+    "empty": ("term",),
+    "stats": (),
+    "ping": (),
+    "quit": (),
+}
+
+#: Request fields every op may carry, in wire order.
+_WIRE_REQUEST_OPTIONAL = ("id", "theory", "deadline_ms")
+
+#: Response fields that may be absent (``id`` and ``ok`` are always present).
+_WIRE_RESPONSE_OPTIONAL = ("op", "theory", "result", "error", "error_code")
+
+_WIRE_ABSENT = object()
+
+
+def _wire_opt(record, key):
+    return [record[key]] if key in record else 0
+
+
+def _wire_unwrap(cell, what):
+    """Decode one presence-encoded slot; 0 = absent, [value] = present."""
+    if isinstance(cell, list):
+        if len(cell) != 1:
+            raise WireProtocolError(
+                f"malformed wire {what}: a present slot must be a 1-element array",
+                ERROR_MALFORMED)
+        return cell[0]
+    if isinstance(cell, int) and not isinstance(cell, bool) and cell == 0:
+        return _WIRE_ABSENT
+    raise WireProtocolError(
+        f"malformed wire {what}: slot must be 0 (absent) or [value], got {cell!r}",
+        ERROR_MALFORMED)
+
+
+def _wire_dumps(payload, what):
+    try:
+        return json.dumps(payload, separators=(",", ":"), sort_keys=False)
+    except (TypeError, ValueError) as error:
+        raise WireProtocolError(
+            f"wire {what} is not JSON-serializable: {error}", ERROR_MALFORMED) from error
+
+
+def _wire_frame(wire, what, arity):
+    try:
+        payload = json.loads(wire)
+    except (TypeError, ValueError) as error:
+        raise WireProtocolError(
+            f"malformed wire {what}: {error}", ERROR_MALFORMED) from error
+    if not isinstance(payload, list) or len(payload) != arity:
+        raise WireProtocolError(
+            f"malformed wire {what}: expected a {arity}-element array", ERROR_MALFORMED)
+    if payload[0] != WIRE_VERSION:
+        raise WireProtocolError(
+            f"unsupported wire version {payload[0]!r} (this build speaks {WIRE_VERSION})",
+            ERROR_MALFORMED)
+    return payload
+
+
+def _wire_extras(extras, what, reserved):
+    if not isinstance(extras, dict):
+        raise WireProtocolError(
+            f"malformed wire {what}: extras must be an object", ERROR_MALFORMED)
+    for key in extras:
+        if not isinstance(key, str):
+            raise WireProtocolError(
+                f"malformed wire {what}: extra field names must be strings", ERROR_MALFORMED)
+        if key in reserved:
+            raise WireProtocolError(
+                f"malformed wire {what}: extra field {key!r} collides with a "
+                "positional slot", ERROR_MALFORMED)
+    return extras
+
+
+def encode_wire_request(record):
+    """Encode one parsed request record into its compact wire line.
+
+    Accepts any record :func:`parse_request_line` classifies as a query,
+    control or quit (op must be known); raises
+    :class:`~repro.utils.errors.WireProtocolError` otherwise.
+    """
+    if not isinstance(record, dict):
+        raise WireProtocolError(
+            "wire request must be encoded from a JSON-object record", ERROR_MALFORMED)
+    op = record.get("op")
+    fields = _WIRE_FIELDS.get(op)
+    if fields is None:
+        raise WireProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(_WIRE_FIELDS)}",
+            ERROR_UNKNOWN_OP)
+    reserved = ("op",) + fields + _WIRE_REQUEST_OPTIONAL
+    extras = {key: value for key, value in record.items() if key not in reserved}
+    return _wire_dumps(
+        [
+            WIRE_VERSION,
+            op,
+            [_wire_opt(record, field) for field in fields],
+            [_wire_opt(record, key) for key in _WIRE_REQUEST_OPTIONAL],
+            extras,
+        ],
+        "request",
+    )
+
+
+def decode_wire_request(wire):
+    """Decode a compact wire line back into the exact original record.
+
+    Malformed input is rejected with :class:`WireProtocolError` carrying a
+    stable ``code`` (``malformed_request`` for framing/shape problems,
+    ``unknown_op`` for a well-framed unknown op).
+    """
+    _, op, field_part, optional_part, extras = _wire_frame(wire, "request", 5)
+    fields = _WIRE_FIELDS.get(op)
+    if fields is None:
+        raise WireProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(_WIRE_FIELDS)}",
+            ERROR_UNKNOWN_OP)
+    if not isinstance(field_part, list) or len(field_part) != len(fields):
+        raise WireProtocolError(
+            f"malformed wire request: op {op!r} carries {len(fields)} payload "
+            "slots", ERROR_MALFORMED)
+    if not isinstance(optional_part, list) or len(optional_part) != len(_WIRE_REQUEST_OPTIONAL):
+        raise WireProtocolError(
+            f"malformed wire request: expected {len(_WIRE_REQUEST_OPTIONAL)} "
+            "optional slots", ERROR_MALFORMED)
+    record = {"op": op}
+    for name, cell in zip(fields, field_part):
+        value = _wire_unwrap(cell, "request")
+        if value is not _WIRE_ABSENT:
+            record[name] = value
+    for name, cell in zip(_WIRE_REQUEST_OPTIONAL, optional_part):
+        value = _wire_unwrap(cell, "request")
+        if value is not _WIRE_ABSENT:
+            record[name] = value
+    reserved = ("op",) + fields + _WIRE_REQUEST_OPTIONAL
+    record.update(_wire_extras(extras, "request", reserved))
+    return record
+
+
+def encode_wire_response(response):
+    """Encode one response record (``id`` and ``ok`` required) for the wire."""
+    if not isinstance(response, dict) or "id" not in response or "ok" not in response:
+        raise WireProtocolError(
+            "wire response must be a record carrying 'id' and 'ok'", ERROR_MALFORMED)
+    if not isinstance(response["ok"], bool):
+        raise WireProtocolError("wire response 'ok' must be a boolean", ERROR_MALFORMED)
+    reserved = ("id", "ok") + _WIRE_RESPONSE_OPTIONAL
+    extras = {key: value for key, value in response.items() if key not in reserved}
+    return _wire_dumps(
+        [
+            WIRE_VERSION,
+            [response["id"]],
+            response["ok"],
+            [_wire_opt(response, key) for key in _WIRE_RESPONSE_OPTIONAL],
+            extras,
+        ],
+        "response",
+    )
+
+
+def decode_wire_response(wire):
+    """Decode a compact wire response line back into the exact response dict."""
+    _, id_cell, ok, optional_part, extras = _wire_frame(wire, "response", 5)
+    id_value = _wire_unwrap(id_cell, "response")
+    if id_value is _WIRE_ABSENT:
+        raise WireProtocolError(
+            "malformed wire response: 'id' is required", ERROR_MALFORMED)
+    if not isinstance(ok, bool):
+        raise WireProtocolError(
+            "malformed wire response: 'ok' must be a boolean", ERROR_MALFORMED)
+    if not isinstance(optional_part, list) or len(optional_part) != len(_WIRE_RESPONSE_OPTIONAL):
+        raise WireProtocolError(
+            f"malformed wire response: expected {len(_WIRE_RESPONSE_OPTIONAL)} "
+            "optional slots", ERROR_MALFORMED)
+    response = {"id": id_value, "ok": ok}
+    for name, cell in zip(_WIRE_RESPONSE_OPTIONAL, optional_part):
+        value = _wire_unwrap(cell, "response")
+        if value is not _WIRE_ABSENT:
+            response[name] = value
+    reserved = ("id", "ok") + _WIRE_RESPONSE_OPTIONAL
+    response.update(_wire_extras(extras, "response", reserved))
+    return response
 
 
 def classify_query_error(error):

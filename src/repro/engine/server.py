@@ -49,16 +49,32 @@ literally shared), extended with serving concerns:
   earlier on the same stream (wait for their responses first if you want
   post-work numbers).
 
-Note on scaling: worker threads overlap wherever the GIL is released —
-client I/O, and theory oracles that call out of process (the paper's
-implementations use Z3 over IPC).  Pure in-process compute on CPython still
-serializes; ``benchmarks/bench_serve.py`` reports both regimes honestly.
+* **Pluggable execution backends** — one scheduler (intake, shard routing,
+  deadlines, ordering, drain) drives either of two execution backends.  The
+  default ``thread`` backend executes on a :class:`ShardedSessionPool` inside
+  this process: worker threads overlap wherever the GIL is released — client
+  I/O, and theory oracles that call out of process (the paper's
+  implementations use Z3 over IPC) — but pure in-process compute on CPython
+  still serializes.  The ``process`` backend pins each shard's worker to a
+  *worker process* (``multiprocessing``, spawn-safe) holding its own warm
+  sessions and caches, so CPU-bound queries genuinely parallelize across
+  cores.  Requests and responses cross the process boundary in the validated
+  compact wire form (:func:`repro.engine.batch.encode_wire_request` and
+  friends), deadlines are re-anchored in the worker's clock and cancelled
+  cooperatively there, per-worker cache stats are merged into the ``stats``
+  response, and a supervisor detects a crashed worker, respawns it, and
+  answers the in-flight request with a structured ``worker_crashed`` error —
+  no id is ever lost or duplicated.  ``benchmarks/bench_serve.py`` reports
+  both backends in both latency regimes honestly.
 """
 
 from __future__ import annotations
 
 import heapq
+import importlib
 import json
+import multiprocessing
+import os
 import socket
 import threading
 import time
@@ -75,7 +91,12 @@ from repro.engine.batch import (
     ERROR_QUEUE_FULL,
     ERROR_SHUTDOWN,
     ERROR_UNKNOWN_THEORY,
+    ERROR_WORKER_CRASHED,
     classify_query_error,
+    decode_wire_request,
+    decode_wire_response,
+    encode_wire_request,
+    encode_wire_response,
     error_response,
     execute_query,
     parse_request_line,
@@ -83,7 +104,7 @@ from repro.engine.batch import (
 from repro.engine.cache import installed_derivative_stats
 from repro.engine.session import EngineSession
 from repro.theories import build_theory
-from repro.utils.errors import DeadlineExceeded, KmtError
+from repro.utils.errors import DeadlineExceeded, KmtError, WireProtocolError, WorkerCrashed
 
 _STOP = object()
 
@@ -104,6 +125,24 @@ def _affinity_stripe(record, stripes):
     """
     payload = "\x1f".join(str(record.get(field)) for field in _AFFINITY_FIELDS)
     return zlib.crc32(payload.encode("utf-8", "backslashreplace")) % stripes
+
+
+def _merge_cache_tables(into, tables):
+    """Accumulate one stats block's table counters into ``into`` (by name)."""
+    for table_name, table in tables.items():
+        agg = into.setdefault(
+            table_name,
+            {"name": table_name, "hits": 0, "misses": 0, "puts": 0, "evictions": 0},
+        )
+        for counter in ("hits", "misses", "puts", "evictions"):
+            agg[counter] += table.get(counter, 0)
+
+
+def _finish_hit_rates(tables):
+    """Recompute ``hit_rate`` on aggregated table counters."""
+    for table in tables.values():
+        lookups = table["hits"] + table["misses"]
+        table["hit_rate"] = round(table["hits"] / lookups, 4) if lookups else 0.0
 
 
 class ShardedSessionPool:
@@ -163,16 +202,8 @@ class ShardedSessionPool:
         for name, blocks in by_theory.items():
             tables = {}
             for block in blocks:
-                for table_name, table in block["tables"].items():
-                    agg = tables.setdefault(
-                        table_name,
-                        {"name": table_name, "hits": 0, "misses": 0, "puts": 0, "evictions": 0},
-                    )
-                    for counter in ("hits", "misses", "puts", "evictions"):
-                        agg[counter] += table[counter]
-            for table in tables.values():
-                lookups = table["hits"] + table["misses"]
-                table["hit_rate"] = round(table["hits"] / lookups, 4) if lookups else 0.0
+                _merge_cache_tables(tables, block["tables"])
+            _finish_hit_rates(tables)
             out[name] = {
                 "stripes": len(blocks),
                 "queries": sum(block["session"]["queries"] for block in blocks),
@@ -184,6 +215,486 @@ class ShardedSessionPool:
             }
         out["shared"] = installed_derivative_stats()
         return out
+
+
+def execute_record(pool, record, default_theory, fallback_id, cancel=None,
+                   theory=None, stripe=None):
+    """Execute one parsed query record on a sharded pool; returns the response.
+
+    The single execution codepath shared by the thread backend (worker
+    threads in this process) and the process backend (inside each worker
+    process): session lookup, query execution and error classification all
+    happen here, so the two backends cannot drift apart on semantics.
+    ``theory``/``stripe`` accept the scheduler's already-computed routing (the
+    thread backend passes them to avoid re-hashing the request content); when
+    absent they are derived from the record — identically, since the process
+    worker only receives the record itself.
+    """
+    if theory is None:
+        theory = str(record.get("theory", default_theory)).lower()
+    if stripe is None:
+        stripe = _affinity_stripe(record, pool.stripes)
+    try:
+        session = pool.session(theory, stripe)
+    except KmtError as error:
+        return error_response(record, fallback_id, theory, str(error), ERROR_UNKNOWN_THEORY)
+    base = {
+        "id": record.get("id", fallback_id),
+        "op": record["op"],
+        "theory": theory,
+    }
+    try:
+        with session.lock:
+            base["ok"] = True
+            base["result"] = execute_query(session, record, cancel=cancel)
+    except (KmtError, KeyError, TypeError, ValueError) as error:
+        message, code = classify_query_error(error)
+        return error_response(record, fallback_id, theory, message, code)
+    return base
+
+
+def resolve_theory_factory(spec):
+    """Resolve a ``"module:attribute"`` spec to a theory-factory callable.
+
+    The process backend cannot ship an arbitrary in-process callable to its
+    workers, so factory injection crosses the boundary *by name*: the spec is
+    plain data, and each worker imports and resolves it after spawning
+    (``None`` resolves to :func:`repro.theories.build_theory`).
+    """
+    if spec is None:
+        return build_theory
+    module_name, _, attribute = spec.partition(":")
+    if not module_name or not attribute:
+        raise ValueError(f"theory factory spec must look like 'module:attribute', got {spec!r}")
+    module = importlib.import_module(module_name)
+    factory = module
+    for part in attribute.split("."):
+        factory = getattr(factory, part)
+    if not callable(factory):
+        raise ValueError(f"theory factory spec {spec!r} resolved to a non-callable")
+    return factory
+
+
+def merge_pool_stats(blocks):
+    """Merge per-worker :meth:`ShardedSessionPool.stats` blocks into one.
+
+    Worker processes each own private sessions *and* a private process-wide
+    derivative memo; the merged report sums table counters per theory across
+    workers (recomputing hit rates) and folds every worker's ``"shared"``
+    block into one.  The result has the same shape as a single pool's stats,
+    so ``stats`` responses look identical under both backends.
+    """
+    out = {}
+    shared_tables = {}
+    for block in blocks:
+        for name, theory_block in block.items():
+            if name == "shared":
+                _merge_cache_tables(shared_tables, theory_block.get("tables", {}))
+                continue
+            agg = out.setdefault(
+                name,
+                {"stripes": 0, "queries": 0, "tables": {},
+                 "totals": {"hits": 0, "misses": 0}},
+            )
+            agg["stripes"] += theory_block.get("stripes", 0)
+            agg["queries"] += theory_block.get("queries", 0)
+            _merge_cache_tables(agg["tables"], theory_block.get("tables", {}))
+            for counter in ("hits", "misses"):
+                agg["totals"][counter] += theory_block.get("totals", {}).get(counter, 0)
+    for agg in out.values():
+        _finish_hit_rates(agg["tables"])
+    _finish_hit_rates(shared_tables)
+    merged = dict(sorted(out.items()))
+    merged["shared"] = {"tables": shared_tables}
+    return merged
+
+
+class ThreadExecutionBackend:
+    """Execute queries on a :class:`ShardedSessionPool` in this process."""
+
+    name = "thread"
+
+    def __init__(self, pool, default_theory):
+        self.pool = pool
+        self.default_theory = default_theory
+
+    def start(self):
+        pass
+
+    def wait_ready(self, timeout=None):
+        return True
+
+    def execute(self, worker_index, request):
+        cancel = None
+        if request.deadline is not None:
+            deadline, deadline_ms = request.deadline, request.deadline_ms
+
+            def cancel():
+                if time.monotonic() >= deadline:
+                    raise DeadlineExceeded(deadline_ms)
+        return execute_record(self.pool, request.record, self.default_theory,
+                              request.fallback_id, cancel,
+                              theory=request.theory, stripe=request.stripe)
+
+    def pool_stats(self):
+        return self.pool.stats()
+
+    def theories(self):
+        return self.pool.theories()
+
+    def worker_info(self):
+        return None
+
+    def shutdown(self):
+        pass
+
+
+#: Every Nth response (after the first few) carries a fresh cache-stats
+#: snapshot from the worker process; between snapshots the supervisor serves
+#: the last one it saw.
+_STATS_SNAPSHOT_PERIOD = 16
+
+
+def _process_worker_main(conn, config):
+    """Entry point of one worker process (spawn-safe: module-level, plain-data
+    config).  Builds a private warm session pool, then answers ``exec``
+    messages from the supervisor until ``stop`` or EOF; a request never kills
+    the worker — execution failures become error responses."""
+    import signal
+
+    # The parent owns lifecycle (SIGTERM drain in the CLI, KeyboardInterrupt
+    # in a terminal); a stray SIGINT to the process group must not corrupt
+    # the wire conversation mid-message.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # not the main thread, exotic platform
+        pass
+    pool = ShardedSessionPool(
+        stripes=config["stripes"],
+        budget=config["budget"],
+        prune_unsat_cells=config["prune_unsat_cells"],
+        cell_search=config["cell_search"],
+        theory_factory=resolve_theory_factory(config["theory_factory_spec"]),
+    )
+    default_theory = config["default_theory"]
+    served = 0
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return  # supervisor went away
+        tag = message[0]
+        if tag == "stop":
+            return
+        # Replies echo the supervisor's sequence number: a ping the
+        # supervisor gave up waiting for (wait_ready timeout) must not have
+        # its late pong mistaken for the next request's reply.
+        if tag == "ping":
+            conn.send(("pong", message[1], os.getpid()))
+            continue
+        _, seq, wire, fallback_id, remaining_ms, deadline_ms = message
+        try:
+            record = decode_wire_request(wire)
+            cancel = None
+            if remaining_ms is not None:
+                # Deadlines are re-anchored in this process's clock: the
+                # supervisor sends the time *remaining* at dispatch (queue
+                # wait already charged), so clock domains never mix.
+                local_deadline = time.monotonic() + remaining_ms / 1000.0
+
+                def cancel():
+                    if time.monotonic() >= local_deadline:
+                        raise DeadlineExceeded(deadline_ms)
+            response = execute_record(pool, record, default_theory, fallback_id, cancel)
+        except WireProtocolError as error:
+            response = error_response({}, fallback_id, None, str(error), error.code)
+        except Exception as error:  # noqa: BLE001 — a worker must never die on one request
+            response = error_response({}, fallback_id, None,
+                                      f"worker internal error: {error}", ERROR_INTERNAL)
+        try:
+            wire_response = encode_wire_response(response)
+        except WireProtocolError as error:
+            wire_response = encode_wire_response(error_response(
+                {}, fallback_id, None, f"response not wire-serializable: {error}",
+                ERROR_INTERNAL))
+        served += 1
+        # Computing and pickling the stats tables on every response would tax
+        # the hot path stats are not on; snapshots piggyback on the first few
+        # responses (new sessions appear during warmup) and every
+        # _STATS_SNAPSHOT_PERIOD-th after that — bounded staleness, zero
+        # extra IPC — and the parent keeps the latest per worker.
+        snapshot = pool.stats() if served <= 4 or served % _STATS_SNAPSHOT_PERIOD == 0 \
+            else None
+        conn.send(("done", seq, wire_response, snapshot))
+
+
+class _WorkerHandle:
+    """Supervisor-side handle for one worker process.
+
+    Only the owning dispatcher thread calls :meth:`call`, so the pipe needs
+    no locking; :meth:`respawn` replaces a dead worker in place (fresh
+    process, cold caches) and the shard→worker pinning is untouched, so
+    affinity keeps working across crashes.
+    """
+
+    def __init__(self, index, config, ctx):
+        self.index = index
+        self.restarts = 0
+        self.requests = 0
+        self.generation = 0
+        self._config = config
+        self._ctx = ctx
+        self._seq = 0
+        # Serializes pipe conversations: the dispatcher thread owns normal
+        # traffic, but wait_ready() pings arrive from other threads and two
+        # concurrent recv()s on one Connection steal/corrupt replies.
+        self._lock = threading.Lock()
+        self.process = None
+        self.conn = None
+        self._spawn()
+
+    def _spawn(self):
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_process_worker_main, args=(child_conn, self._config),
+            name=f"kmt-server-proc-{self.index}", daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the worker holds the only other end now
+        self.process = process
+        self.conn = parent_conn
+
+    @property
+    def pid(self):
+        return self.process.pid if self.process is not None else None
+
+    def call(self, tag, *payload, timeout=None):
+        """One request/response round trip; raises ``WorkerCrashed`` on a
+        broken pipe (the worker died — killed, OOMed, or segfaulted).
+
+        Every message carries a sequence number the worker echoes in its
+        reply; replies bearing an older sequence are discarded.  That keeps
+        the pipe usable after a *timed-out* call (``timeout`` in seconds,
+        ``None`` returned on expiry): a ping the supervisor stopped waiting
+        for — e.g. ``wait_ready`` against a worker still importing — answers
+        late, and without the sequence check that stale pong would be read as
+        the next request's reply, desyncing the conversation for good.
+        Queries run unbounded (deadlines are the cooperative, in-worker
+        mechanism); the timeout exists for liveness probes.
+
+        Calls are serialized per handle: a bounded call that cannot take the
+        pipe within its timeout (a query is mid-flight on the dispatcher)
+        reports not-ready rather than recv-racing the dispatcher for its
+        reply.
+        """
+        if timeout is None:
+            self._lock.acquire()
+        elif not self._lock.acquire(timeout=timeout):
+            return None
+        try:
+            pid = self.pid
+            self._seq += 1
+            seq = self._seq
+            deadline = None if timeout is None else time.monotonic() + timeout
+            try:
+                self.conn.send((tag, seq) + payload)
+                while True:
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self.conn.poll(remaining):
+                            return None
+                    reply = self.conn.recv()
+                    if reply[1] == seq:
+                        return reply
+                    # Stale reply to an abandoned earlier call: drop, re-wait.
+            except (EOFError, OSError) as error:
+                detail = f": {error}" if str(error) else ""
+                raise WorkerCrashed(
+                    f"worker process {self.index} (pid {pid}) died mid-request{detail}"
+                ) from error
+        finally:
+            self._lock.release()
+
+    def respawn(self, observed_generation=None):
+        """Replace a dead worker; a no-op if another observer already did.
+
+        Two threads can see the same crash (a dispatcher's exec and a
+        ``wait_ready`` ping both hitting the dead pipe); ``observed_generation``
+        — captured before the failed call — makes the second respawn
+        recognize that the worker it saw die is already replaced, instead of
+        tearing down the healthy replacement.
+        """
+        with self._lock:
+            if observed_generation is not None and observed_generation != self.generation:
+                return
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            self.process.join(timeout=5.0)
+            if self.process.is_alive():  # crashed pipe but wedged process
+                self.process.kill()
+                self.process.join(timeout=5.0)
+            self.restarts += 1
+            self.generation += 1
+            self._spawn()
+
+    def stop(self, timeout=5.0):
+        with self._lock:
+            try:
+                self.conn.send(("stop",))
+            except (EOFError, OSError):
+                pass  # already dead
+            self.process.join(timeout=timeout)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout=timeout)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=timeout)
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+class ProcessExecutionBackend:
+    """Execute queries in per-worker *processes* (true CPU parallelism).
+
+    Each of ``workers`` processes holds its own :class:`ShardedSessionPool`
+    (plus a private derivative memo); the scheduler's shard→worker pinning
+    means a given ``(theory, stripe)`` shard always executes in the same
+    process, so cache affinity works exactly as in the thread backend.
+    Requests/responses cross the pipe in the compact wire form; theory
+    injection crosses by ``theory_factory_spec`` (``"module:attribute"``,
+    resolved inside each worker).  A crashed worker is respawned by its
+    dispatcher thread and the in-flight request answered with a structured
+    ``worker_crashed`` error — requests queued behind it are executed by the
+    respawned worker, so no id is lost or duplicated.
+    """
+
+    name = "process"
+
+    def __init__(self, workers, stripes, budget=DEFAULT_BUDGET, prune_unsat_cells=True,
+                 cell_search="signature", default_theory=DEFAULT_THEORY,
+                 theory_factory_spec=None, start_method="spawn"):
+        if theory_factory_spec is not None:
+            # Fail fast in the parent on a bad spec instead of crash-looping
+            # every worker at spawn.
+            resolve_theory_factory(theory_factory_spec)
+        self.workers = workers
+        self._config = {
+            "stripes": stripes,
+            "budget": budget,
+            "prune_unsat_cells": prune_unsat_cells,
+            "cell_search": cell_search,
+            "default_theory": default_theory,
+            "theory_factory_spec": theory_factory_spec,
+        }
+        self._ctx = multiprocessing.get_context(start_method)
+        self._handles = []
+        self._stats_lock = threading.Lock()
+        self._last_pool_stats = {}  # worker index -> latest stats snapshot
+
+    def start(self):
+        if not self._handles:
+            self._handles = [
+                _WorkerHandle(index, self._config, self._ctx)
+                for index in range(self.workers)
+            ]
+
+    def wait_ready(self, timeout=None):
+        """Block until every worker process answers a ping (imports done).
+
+        Useful to keep interpreter spawn/import cost out of latency-sensitive
+        paths (benchmarks warm up explicitly; serving just absorbs it).
+        ``False`` when the timeout elapses (including a worker that spawned
+        but wedged without answering) or a worker crashed at spawn.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for handle in self._handles:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+            generation = handle.generation
+            try:
+                reply = handle.call("ping", timeout=remaining)
+            except WorkerCrashed:
+                handle.respawn(generation)
+                return False
+            if reply is None or reply[0] != "pong":
+                return False
+        return True
+
+    def execute(self, worker_index, request):
+        handle = self._handles[worker_index]
+        record = request.record
+        remaining_ms = None
+        if request.deadline is not None:
+            # The queued-too-long case was already answered by the scheduler;
+            # anything left is the execution budget, re-anchored worker-side.
+            remaining_ms = max(0.001, (request.deadline - time.monotonic()) * 1000.0)
+        try:
+            wire = encode_wire_request(record)
+        except WireProtocolError as error:
+            return error_response(record, request.fallback_id, request.theory,
+                                  str(error), error.code)
+        generation = handle.generation
+        try:
+            reply = handle.call("exec", wire, request.fallback_id, remaining_ms,
+                                request.deadline_ms)
+            if reply[0] != "done":
+                raise WorkerCrashed(
+                    f"worker process {handle.index} (pid {handle.pid}) broke protocol "
+                    f"(sent {reply[0]!r})")
+            _, _, wire_response, pool_stats = reply
+            response = decode_wire_response(wire_response)
+        except WorkerCrashed as crash:
+            handle.respawn(generation)
+            return error_response(
+                record, request.fallback_id, request.theory,
+                f"{crash}; worker respawned as pid {handle.pid} (the request was "
+                "not retried)", ERROR_WORKER_CRASHED)
+        handle.requests += 1
+        if pool_stats is not None:
+            with self._stats_lock:
+                self._last_pool_stats[handle.index] = pool_stats
+        return response
+
+    def pool_stats(self):
+        """Merged per-worker cache stats (latest periodic snapshot each).
+
+        Workers piggyback snapshots every :data:`_STATS_SNAPSHOT_PERIOD`
+        responses, so the merge can trail the most recent requests slightly —
+        a deliberate trade against taxing every response with stats traffic.
+        """
+        with self._stats_lock:
+            blocks = list(self._last_pool_stats.values())
+        return merge_pool_stats(blocks)
+
+    def theories(self):
+        with self._stats_lock:
+            blocks = list(self._last_pool_stats.values())
+        return sorted({name for block in blocks for name in block if name != "shared"})
+
+    def worker_info(self):
+        return [
+            {
+                "index": handle.index,
+                "pid": handle.pid,
+                "alive": handle.process.is_alive() if handle.process is not None else False,
+                "requests": handle.requests,
+                "restarts": handle.restarts,
+            }
+            for handle in self._handles
+        ]
+
+    def shutdown(self):
+        for handle in self._handles:
+            handle.stop()
+        self._handles = []
 
 
 class ResponseSink:
@@ -286,23 +797,53 @@ class QueryServer:
     """
 
     def __init__(self, workers=4, stripes=None, queue_limit=128, default_theory=DEFAULT_THEORY,
-                 budget=DEFAULT_BUDGET, cell_search="signature", theory_factory=None, pool=None):
+                 budget=DEFAULT_BUDGET, cell_search="signature", theory_factory=None, pool=None,
+                 backend="thread", theory_factory_spec=None, start_method="spawn"):
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be at least 1, got {queue_limit}")
+        if backend not in ("thread", "process"):
+            raise ValueError(f"backend must be 'thread' or 'process', got {backend!r}")
+        if stripes is not None and stripes < 1:
+            # Validated here for both backends: the process backend only
+            # builds its (stripe-validating) pools inside the spawned
+            # workers, far too late for a clean startup error.
+            raise ValueError(f"stripes must be at least 1, got {stripes}")
         self.workers = workers
         self.stripes = workers if stripes is None else stripes
         self.queue_limit = queue_limit
         self.default_theory = default_theory
-        if pool is not None:
-            self.pool = pool
-            self.stripes = pool.stripes
-        else:
-            self.pool = ShardedSessionPool(
-                stripes=self.stripes, budget=budget, cell_search=cell_search,
-                theory_factory=theory_factory,
+        self.backend_name = backend
+        if backend == "process":
+            if pool is not None:
+                raise ValueError("the process backend builds per-worker pools; "
+                                 "an in-process pool cannot be shared across it")
+            if theory_factory is not None:
+                raise ValueError("theory_factory is in-process only; pass "
+                                 "theory_factory_spec='module:attribute' for the "
+                                 "process backend")
+            self.pool = None
+            self.backend = ProcessExecutionBackend(
+                workers=workers, stripes=self.stripes, budget=budget,
+                cell_search=cell_search, default_theory=default_theory,
+                theory_factory_spec=theory_factory_spec, start_method=start_method,
             )
+        else:
+            if theory_factory is not None and theory_factory_spec is not None:
+                raise ValueError("pass either theory_factory or theory_factory_spec, "
+                                 "not both")
+            if theory_factory_spec is not None:
+                theory_factory = resolve_theory_factory(theory_factory_spec)
+            if pool is not None:
+                self.pool = pool
+                self.stripes = pool.stripes
+            else:
+                self.pool = ShardedSessionPool(
+                    stripes=self.stripes, budget=budget, cell_search=cell_search,
+                    theory_factory=theory_factory,
+                )
+            self.backend = ThreadExecutionBackend(self.pool, default_theory)
         self._queues = [Queue() for _ in range(workers)]
         self._threads = []
         self._capacity = threading.Semaphore(queue_limit)
@@ -324,14 +865,24 @@ class QueryServer:
         if self._started:
             return self
         self._started = True
+        with self._state:
+            # A stopped server may be started again (shutdown() tears the
+            # workers down but leaves the object reusable); intake must
+            # reopen with it or every request gets `shutting_down`.
+            self._accepting = True
+        self.backend.start()
         for index, queue in enumerate(self._queues):
             thread = threading.Thread(
-                target=self._worker_loop, args=(queue,),
+                target=self._worker_loop, args=(queue, index),
                 name=f"kmt-server-worker-{index}", daemon=True,
             )
             thread.start()
             self._threads.append(thread)
         return self
+
+    def wait_ready(self, timeout=None):
+        """Block until the execution backend is warm (worker processes up)."""
+        return self.backend.wait_ready(timeout=timeout)
 
     def __enter__(self):
         return self.start()
@@ -364,6 +915,7 @@ class QueryServer:
                 thread.join()
             self._threads = []
             self._started = False
+        self.backend.shutdown()
 
     # ------------------------------------------------------------------
     # intake
@@ -463,7 +1015,7 @@ class QueryServer:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def _worker_loop(self, queue):
+    def _worker_loop(self, queue, worker_index):
         while True:
             request = queue.get()
             if request is _STOP:
@@ -471,7 +1023,7 @@ class QueryServer:
             with self._state:
                 self._queued -= 1
             try:
-                response = self._execute(request)
+                response = self._execute(worker_index, request)
             except Exception as error:  # noqa: BLE001 — a lost seq wedges ordered sinks
                 message, code = str(error), ERROR_INTERNAL
                 response = error_response(request.record, request.fallback_id,
@@ -489,38 +1041,15 @@ class QueryServer:
                 if self._in_flight == 0:
                     self._idle.notify_all()
 
-    def _execute(self, request):
-        record = request.record
+    def _execute(self, worker_index, request):
+        # The queued-too-long check lives in the scheduler (one clock, one
+        # owner for queue time); everything past here is the backend's.
         if request.deadline is not None and time.monotonic() >= request.deadline:
             return error_response(
-                record, request.fallback_id, request.theory,
+                request.record, request.fallback_id, request.theory,
                 f"deadline of {request.deadline_ms} ms expired while queued",
                 ERROR_DEADLINE)
-        cancel = None
-        if request.deadline is not None:
-            deadline, deadline_ms = request.deadline, request.deadline_ms
-
-            def cancel():
-                if time.monotonic() >= deadline:
-                    raise DeadlineExceeded(deadline_ms)
-        try:
-            session = self.pool.session(request.theory, request.stripe)
-        except KmtError as error:
-            return error_response(record, request.fallback_id, request.theory,
-                                  str(error), ERROR_UNKNOWN_THEORY)
-        base = {
-            "id": record.get("id", request.fallback_id),
-            "op": record["op"],
-            "theory": request.theory,
-        }
-        try:
-            with session.lock:
-                base["ok"] = True
-                base["result"] = execute_query(session, record, cancel=cancel)
-        except (KmtError, KeyError, TypeError, ValueError) as error:
-            message, code = classify_query_error(error)
-            return error_response(record, request.fallback_id, request.theory, message, code)
-        return base
+        return self.backend.execute(worker_index, request)
 
     # ------------------------------------------------------------------
     # control / observability
@@ -548,7 +1077,8 @@ class QueryServer:
             index = min(len(latencies) - 1, int(fraction * len(latencies)))
             return round(latencies[index] * 1000.0, 3)
 
-        return {
+        out = {
+            "backend": self.backend_name,
             "workers": self.workers,
             "stripes": self.stripes,
             "queue": {
@@ -566,15 +1096,19 @@ class QueryServer:
                 "max": round(latencies[-1] * 1000.0, 3) if latencies else None,
             },
         }
+        worker_info = self.backend.worker_info()
+        if worker_info is not None:
+            out["process_workers"] = worker_info
+        return out
 
     def _control_response(self, record, fallback_id):
         response = {"id": record.get("id", fallback_id), "op": record["op"], "ok": True}
         if record["op"] == "stats":
-            result = self.pool.stats()
+            result = self.backend.pool_stats()
             result["server"] = self.server_stats()
             response["result"] = result
         else:
-            response["result"] = {"pong": True, "theories": self.pool.theories()}
+            response["result"] = {"pong": True, "theories": self.backend.theories()}
         return response
 
 
@@ -585,7 +1119,7 @@ class QueryServer:
 
 def serve_stdio(stdin, stdout, workers=4, stripes=None, queue_limit=128, ordered=False,
                 default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, cell_search="signature",
-                theory_factory=None, server=None):
+                theory_factory=None, server=None, backend="thread", theory_factory_spec=None):
     """Serve the JSONL protocol from ``stdin`` to ``stdout`` concurrently.
 
     The drop-in concurrent replacement for :func:`repro.engine.batch.serve`:
@@ -603,7 +1137,8 @@ def serve_stdio(stdin, stdout, workers=4, stripes=None, queue_limit=128, ordered
     if own_server:
         server = QueryServer(workers=workers, stripes=stripes, queue_limit=queue_limit,
                              default_theory=default_theory, budget=budget,
-                             cell_search=cell_search, theory_factory=theory_factory)
+                             cell_search=cell_search, theory_factory=theory_factory,
+                             backend=backend, theory_factory_spec=theory_factory_spec)
     server.start()
     sink = ResponseSink(
         lambda line: (stdout.write(line + "\n"), stdout.flush()), ordered=ordered)

@@ -44,6 +44,30 @@ class SolverError(KmtError):
     """A satisfiability query could not be answered by the available solvers."""
 
 
+class WireProtocolError(KmtError):
+    """A compact wire-form request/response failed to encode or decode.
+
+    The wire form (:func:`repro.engine.batch.encode_wire_request` and
+    friends) is what the query server ships across the process boundary to
+    its worker processes.  ``code`` is the stable machine-readable
+    ``error_code`` a front end should put on the error response (one of the
+    ``ERROR_*`` constants in :mod:`repro.engine.batch`).
+    """
+
+    def __init__(self, message, code="malformed_request"):
+        self.code = code
+        super().__init__(message)
+
+
+class WorkerCrashed(KmtError):
+    """A server worker process died while a request was assigned to it.
+
+    Raised inside the process execution backend when the pipe to a worker
+    breaks mid-call; the supervisor converts it into a structured
+    ``worker_crashed`` error response and respawns the worker.
+    """
+
+
 class QueryCancelled(KmtError):
     """A long-running query was cancelled cooperatively.
 

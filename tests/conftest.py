@@ -3,7 +3,16 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import settings
 from hypothesis import strategies as st
+
+# Derandomize hypothesis: with per-run random seeds the generators very
+# occasionally produce a pathological term (sums nested under star) whose
+# normalization grinds for minutes, wedging CI and tier-1 runs.  A fixed
+# example stream keeps every run reproducible; per-example deadlines are
+# disabled because wall-clock limits flake on slow single-core runners.
+settings.register_profile("repro", derandomize=True, deadline=None)
+settings.load_profile("repro")
 
 from repro.core import terms as T
 from repro.core.kmt import KMT

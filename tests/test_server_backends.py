@@ -1,0 +1,803 @@
+"""Execution backends of the query server: differential soak, crash
+recovery, and the wire-serialization property tests.
+
+The headline here is the **differential soak harness**: one randomized
+200-request mixed-theory workload replayed through three execution paths —
+``kmt batch`` (the grouped batch runner), the server's ``thread`` backend and
+its ``process`` backend — asserting identical verdicts, structurally *valid*
+counterexamples, and exact id accounting across all three.  Everything the
+protocol promises to be deterministic is compared byte-for-byte; only the
+session-history-dependent counters (``cells_explored``/``cells_pruned``,
+which legitimately vary with how warm each stripe's memo happens to be, and
+the ``cached`` replay flag) are excluded.
+
+Alongside it: the crash-recovery test (SIGKILL a worker process mid-query;
+the supervisor must respawn it, answer the in-flight id with a structured
+``worker_crashed`` error, and lose or duplicate no other id), Hypothesis
+round-trip properties for the compact wire form the process backend ships
+across its pipes, and backend-parameterized behavior tests keeping the two
+backends semantically interchangeable.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import random
+import signal
+import socket
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import automata
+from repro.engine.batch import (
+    CONTROL_OPS,
+    ERROR_MALFORMED,
+    ERROR_UNKNOWN_OP,
+    QUERY_OPS,
+    decode_wire_request,
+    decode_wire_response,
+    encode_wire_request,
+    encode_wire_response,
+    parse_request_line,
+    run_batch_lines,
+)
+from repro.engine.server import (
+    QueryServer,
+    ResponseSink,
+    SocketServer,
+    _affinity_stripe,
+    merge_pool_stats,
+    serve_stdio,
+)
+from repro.engine.session import EngineSession
+from repro.theories import build_theory
+from repro.utils.errors import WireProtocolError
+
+BACKENDS = ("thread", "process")
+
+#: Spec every process-backend test injects latency through (resolved inside
+#: the spawned worker; configured via KMT_TEST_ORACLE_* env vars, which the
+#: children inherit).
+ORACLE_SPEC = "repro.engine.testing:oracle_latency_factory"
+
+
+def record(**fields):
+    return json.dumps(fields)
+
+
+class ListSink(ResponseSink):
+    def __init__(self, ordered=False):
+        self.responses = []
+        super().__init__(lambda line: self.responses.append(json.loads(line)),
+                         ordered=ordered)
+
+
+def make_server(backend, workers=2, oracle_ms=0, oracle_theories="incnat",
+                monkeypatch=None, **options):
+    """A QueryServer for either backend, with optional oracle latency.
+
+    The thread backend takes an in-process wrapped factory; the process
+    backend gets the same latency via the env-configured spawnable factory
+    (``monkeypatch`` required when ``oracle_ms`` is set so the env is
+    restored).
+    """
+    if backend == "thread":
+        if oracle_ms:
+            from repro.engine.testing import OracleLatencyTheory
+
+            only = {name.strip() for name in oracle_theories.split(",")}
+
+            def factory(name):
+                theory = build_theory(name)
+                return OracleLatencyTheory(theory, oracle_ms / 1000.0) \
+                    if name in only else theory
+
+            options["theory_factory"] = factory
+        return QueryServer(workers=workers, backend="thread", **options)
+    if oracle_ms:
+        monkeypatch.setenv("KMT_TEST_ORACLE_DELAY_MS", str(oracle_ms))
+        monkeypatch.setenv("KMT_TEST_ORACLE_THEORIES", oracle_theories)
+        options["theory_factory_spec"] = ORACLE_SPEC
+    return QueryServer(workers=workers, backend="process", **options)
+
+
+# ---------------------------------------------------------------------------
+# the randomized mixed-theory workload
+# ---------------------------------------------------------------------------
+
+SOAK_SEED = 20260729
+SOAK_REQUESTS = 200
+
+
+def _rand_pred(rng, atoms, depth):
+    if depth <= 0 or rng.random() < 0.5:
+        return rng.choice(atoms)
+    roll = rng.random()
+    if roll < 0.35:
+        return f"~({_rand_pred(rng, atoms, depth - 1)})"
+    left = _rand_pred(rng, atoms, depth - 1)
+    right = _rand_pred(rng, atoms, depth - 1)
+    if roll < 0.7:
+        return f"({left}; {right})"
+    return f"({left} + {right})"
+
+
+def _rand_term(rng, preds, actions, depth):
+    # Stars only wrap primitive actions: starred compound bodies make normal
+    # forms explode (the Denest blow-up), which tests performance rather than
+    # cross-backend agreement.
+    if depth <= 0:
+        return rng.choice(actions if rng.random() < 0.6 else preds)
+    roll = rng.random()
+    if roll < 0.15:
+        return f"({rng.choice(actions)})*"
+    if roll < 0.35:
+        return rng.choice(actions)
+    left = _rand_term(rng, preds, actions, depth - 1)
+    right = _rand_term(rng, preds, actions, depth - 1)
+    if roll < 0.7:
+        return f"({left}; {right})"
+    return f"({left} + {right})"
+
+
+_THEORY_ATOMS = {
+    "incnat": (
+        ["x > 0", "x > 1", "x > 2", "y > 1", "y > 3"],
+        ["inc(x)", "inc(y)"],
+    ),
+    "bitvec": (
+        ["a = T", "b = T", "c = T"],
+        ["flip a", "a := T", "a := F", "b := T", "c := F"],
+    ),
+    "netkat": (
+        ["sw = 0", "sw = 1", "sw = 2", "pt = 1"],
+        ["sw <- 0", "sw <- 1", "sw <- 2", "pt <- 1"],
+    ),
+}
+
+
+def make_soak_workload(seed=SOAK_SEED, total=SOAK_REQUESTS):
+    """``total`` JSONL query lines (ids ``q0..``), plus a protocol-error tail.
+
+    Mixed theories and every query op; equivalence pairs are a mix of random
+    (almost always inequivalent, exercising counterexamples) and
+    derived-by-KAT-law pairs (``p + p`` / commuted sums, exercising the
+    exhaustive equivalent verdict).
+    """
+    rng = random.Random(seed)
+    lines = []
+
+    def add(**fields):
+        fields["id"] = f"q{len(lines)}"
+        lines.append(json.dumps(fields))
+
+    theories = sorted(_THEORY_ATOMS)
+    for _ in range(total):
+        theory = rng.choice(theories)
+        preds, actions = _THEORY_ATOMS[theory]
+        op = rng.choices(("equiv", "leq", "norm", "sat", "empty"),
+                         weights=(5, 2, 2, 2, 1))[0]
+        if op == "equiv":
+            left = _rand_term(rng, preds, actions, depth=2)
+            roll = rng.random()
+            if roll < 0.25:
+                right = f"({left} + {left})"
+            elif roll < 0.4:
+                other = _rand_term(rng, preds, actions, depth=1)
+                left, right = f"({left} + {other})", f"({other} + {left})"
+            else:
+                right = _rand_term(rng, preds, actions, depth=2)
+            add(op="equiv", theory=theory, left=left, right=right)
+        elif op == "leq":
+            left = _rand_term(rng, preds, actions, depth=1)
+            if rng.random() < 0.5:
+                other = _rand_term(rng, preds, actions, depth=1)
+                add(op="leq", theory=theory, left=left, right=f"({left} + {other})")
+            else:
+                add(op="leq", theory=theory, left=left,
+                    right=_rand_term(rng, preds, actions, depth=2))
+        elif op == "norm":
+            add(op="norm", theory=theory, term=_rand_term(rng, preds, actions, depth=2))
+        elif op == "sat":
+            add(op="sat", theory=theory, pred=_rand_pred(rng, preds, depth=2))
+        else:
+            term = _rand_term(rng, preds, actions, depth=1)
+            if rng.random() < 0.5:
+                pred = rng.choice(preds)
+                term = f"({pred}; ~({pred}))"
+            add(op="empty", theory=theory, term=term)
+    # A protocol-error tail: these must produce identical structured errors
+    # (and keep exact id accounting) on every execution path.
+    add(op="equiv", theory="incnat")                      # missing fields
+    add(op="frobnicate")                                  # unknown op
+    add(op="sat", theory="no-such-theory", pred="x > 1")  # unknown theory
+    add(op="norm", theory="incnat", term=["not", "text"])  # wrong field type
+    return lines
+
+
+def _isolated_derivative_cache():
+    """Fresh process-wide derivative memo (restores the previous one)."""
+    from repro.engine.cache import LRUCache
+
+    saved = automata.get_derivative_cache()
+    automata.set_derivative_cache(LRUCache(maxsize=65536, name="deriv"))
+    return saved
+
+
+def run_path_batch(lines):
+    saved = _isolated_derivative_cache()
+    try:
+        responses, _ = run_batch_lines(list(lines))
+    finally:
+        automata.set_derivative_cache(saved)
+    return responses
+
+
+def run_path_server(lines, backend, workers=3):
+    saved = _isolated_derivative_cache()
+    try:
+        stdin = io.StringIO("\n".join(lines) + "\n")
+        stdout = io.StringIO()
+        serve_stdio(stdin, stdout, workers=workers, backend=backend)
+    finally:
+        automata.set_derivative_cache(saved)
+    return [json.loads(line) for line in stdout.getvalue().splitlines()]
+
+
+#: Result fields that legitimately differ across execution paths: comparison
+#: and prune *counters* depend on how warm each session's signature memo is
+#: (one session per theory in batch vs one per stripe in the server), and the
+#: ``cached`` flag marks replays, which likewise depend on stripe layout.
+_HISTORY_DEPENDENT = ("cells_explored", "cells_pruned", "cached")
+
+
+def comparable_response(response):
+    """Project a response onto its path-independent core."""
+    out = {key: value for key, value in response.items() if key != "result"}
+    # Human-readable error strings may mention pids/worker indices; the
+    # stable contract across paths is the error *code*.
+    out.pop("error", None)
+    result = response.get("result")
+    if isinstance(result, dict):
+        out["result"] = {key: value for key, value in result.items()
+                         if key not in _HISTORY_DEPENDENT}
+    return out
+
+
+@pytest.fixture(scope="module")
+def soak():
+    lines = make_soak_workload()
+    return {
+        "lines": lines,
+        "batch": run_path_batch(lines),
+        "thread": run_path_server(lines, "thread"),
+        "process": run_path_server(lines, "process"),
+    }
+
+
+class TestDifferentialSoak:
+    def test_id_accounting_exact(self, soak):
+        expected = sorted(json.loads(line)["id"] for line in soak["lines"])
+        for path in ("batch", "thread", "process"):
+            got = sorted(response["id"] for response in soak[path])
+            assert got == expected, f"{path}: id set mismatch"
+
+    def test_identical_verdicts_across_all_three_paths(self, soak):
+        reference = {response["id"]: comparable_response(response)
+                     for response in soak["batch"]}
+        for path in ("thread", "process"):
+            for response in soak[path]:
+                assert comparable_response(response) == reference[response["id"]], (
+                    f"{path}: response for {response['id']} diverges from batch")
+
+    def test_workload_exercises_both_verdicts_and_errors(self, soak):
+        equiv_verdicts = [response["result"]["equivalent"]
+                          for response in soak["batch"]
+                          if response.get("ok") and response["op"] == "equiv"]
+        assert equiv_verdicts.count(True) >= 20
+        assert equiv_verdicts.count(False) >= 20
+        errors = [response for response in soak["batch"] if not response["ok"]]
+        assert {response["error_code"] for response in errors} >= {
+            "missing_field", "unknown_op", "unknown_theory"}
+
+    def test_counterexamples_are_valid(self, soak):
+        """Every counterexample a path reports must be structurally valid:
+        theory-satisfiable cell, word accepted by exactly one side."""
+        sessions = {}
+        checked = 0
+        for response in soak["batch"]:
+            if not response.get("ok") or response["op"] != "equiv":
+                continue
+            payload = response["result"]
+            if payload["equivalent"]:
+                continue
+            request = json.loads(soak["lines"][int(response["id"][1:])])
+            theory_name = request["theory"]
+            if theory_name not in sessions:
+                theory = build_theory(theory_name)
+                sessions[theory_name] = (theory, EngineSession(theory))
+            theory, session = sessions[theory_name]
+            result = session.check_equivalent(request["left"], request["right"])
+            assert not result.equivalent
+            cex = result.counterexample
+            assert cex is not None
+            if cex.cell:
+                assert theory.satisfiable_conjunction(list(cex.cell))
+            state = automata.canonical(cex.left_actions)
+            other = automata.canonical(cex.right_actions)
+            for pi in cex.word:
+                state = automata.derivative(state, pi)
+                other = automata.derivative(other, pi)
+            assert automata.nullable(state) != automata.nullable(other)
+            # The served string is exactly this witness's rendering.
+            assert payload["counterexample"] == cex.describe()
+            checked += 1
+        assert checked >= 20  # the workload must really exercise witnesses
+
+
+# ---------------------------------------------------------------------------
+# crash recovery (process backend)
+# ---------------------------------------------------------------------------
+
+
+class TestCrashRecovery:
+    def test_worker_killed_mid_query_is_respawned(self, monkeypatch):
+        # incnat oracle calls hang for 60s, giving a deterministic window in
+        # which the in-flight query is executing inside the worker process.
+        with make_server("process", workers=2, oracle_ms=60_000,
+                         oracle_theories="incnat", monkeypatch=monkeypatch) as server:
+            assert server.wait_ready(timeout=60)
+            sink = ListSink()
+            doomed = {"op": "equiv", "left": "inc(x); x > 1",
+                      "right": "x > 0; inc(x)", "id": "doomed"}
+            doomed_worker = server._worker_index(
+                "incnat", _affinity_stripe(doomed, server.stripes))
+            # Requests on the *other* worker must be unaffected throughout.
+            bystanders = []
+            # Varying the variable-name *length* varies the content-hash
+            # stripe (crc32 is linear, so same-length single-char tweaks can
+            # all share a parity and land on one worker).
+            for i in range(8):
+                rec = {"op": "sat", "theory": "bitvec", "pred": f"{'v' * (i + 1)} = T",
+                       "id": f"bystander-{i}"}
+                if server._worker_index(
+                        "bitvec", _affinity_stripe(rec, server.stripes)) != doomed_worker:
+                    bystanders.append(rec)
+            assert bystanders, "no bitvec query landed on the other worker"
+            server.submit_line(json.dumps(doomed), sink)
+            for rec in bystanders:
+                server.submit_line(json.dumps(rec), sink)
+            # Wait until the doomed request has left the scheduler queue and
+            # is in flight inside the worker's oracle call.
+            deadline = time.monotonic() + 30
+            while server.server_stats()["queue"]["depth"] > 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            time.sleep(0.5)
+            pid = server.backend.worker_info()[doomed_worker]["pid"]
+            os.kill(pid, signal.SIGKILL)
+            assert server.wait_idle(timeout=60)
+            # The respawned worker serves the same shard again (bitvec is
+            # fast — the latency wrapper only covers incnat).
+            follow_up = {"op": "sat", "theory": "bitvec", "pred": "z = T", "id": "after"}
+            server.submit_line(json.dumps(follow_up), sink)
+            assert server.wait_idle(timeout=60)
+            info = server.backend.worker_info()
+
+        by_id = {response["id"]: response for response in sink.responses}
+        # No id lost, none duplicated.
+        expected = {"doomed", "after"} | {rec["id"] for rec in bystanders}
+        assert len(sink.responses) == len(expected)
+        assert set(by_id) == expected
+        assert by_id["doomed"]["ok"] is False
+        assert by_id["doomed"]["error_code"] == "worker_crashed"
+        assert str(pid) in by_id["doomed"]["error"]
+        for rec in bystanders:
+            assert by_id[rec["id"]]["ok"] is True
+        assert by_id["after"]["ok"] is True
+        assert info[doomed_worker]["restarts"] == 1
+        assert info[doomed_worker]["pid"] != pid
+        assert all(worker["restarts"] == 0
+                   for worker in info if worker["index"] != doomed_worker)
+
+    def test_request_queued_behind_crash_executes_on_respawned_worker(self, monkeypatch):
+        # One worker, so the follow-up request is queued *behind* the doomed
+        # one on the same dispatcher; after the respawn it must execute
+        # normally (not be dropped with the crash).
+        with make_server("process", workers=1, oracle_ms=60_000,
+                         oracle_theories="incnat", monkeypatch=monkeypatch) as server:
+            assert server.wait_ready(timeout=60)
+            sink = ListSink()
+            server.submit_line(record(op="equiv", left="inc(x); x > 1",
+                                      right="x > 0; inc(x)", id="doomed"), sink)
+            server.submit_line(record(op="sat", theory="bitvec", pred="a = T",
+                                      id="behind"), sink)
+            deadline = time.monotonic() + 30
+            while server.server_stats()["queue"]["depth"] > 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            time.sleep(0.5)
+            os.kill(server.backend.worker_info()[0]["pid"], signal.SIGKILL)
+            assert server.wait_idle(timeout=60)
+        by_id = {response["id"]: response for response in sink.responses}
+        assert set(by_id) == {"doomed", "behind"}
+        assert by_id["doomed"]["error_code"] == "worker_crashed"
+        assert by_id["behind"]["ok"] is True
+        assert by_id["behind"]["result"]["satisfiable"] is True
+
+
+# ---------------------------------------------------------------------------
+# wire serialization properties
+# ---------------------------------------------------------------------------
+
+_ALL_OPS = QUERY_OPS + CONTROL_OPS + ("quit",)
+
+_REQUIRED_FIELDS = {
+    "equiv": ("left", "right"), "leq": ("left", "right"), "norm": ("term",),
+    "sat": ("pred",), "empty": ("term",), "stats": (), "ping": (), "quit": (),
+}
+
+_json_values = st.recursive(
+    st.none() | st.booleans() | st.integers(-10**6, 10**6)
+    | st.floats(allow_nan=False, allow_infinity=False, width=32) | st.text(max_size=12),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=6), children, max_size=3),
+    max_leaves=6,
+)
+
+_RESERVED_REQUEST = {"op", "left", "right", "term", "pred", "id", "theory", "deadline_ms"}
+_RESERVED_RESPONSE = {"id", "ok", "op", "theory", "result", "error", "error_code"}
+
+
+@st.composite
+def request_records(draw):
+    op = draw(st.sampled_from(_ALL_OPS))
+    rec = {"op": op}
+    for field in _REQUIRED_FIELDS[op]:
+        if draw(st.booleans()) or draw(st.booleans()):  # usually present
+            rec[field] = draw(st.text(max_size=30))
+    if draw(st.booleans()):
+        rec["id"] = draw(st.none() | st.integers(-10**6, 10**6) | st.text(max_size=12))
+    if draw(st.booleans()):
+        rec["theory"] = draw(st.text(max_size=12))
+    if draw(st.booleans()):
+        rec["deadline_ms"] = draw(st.integers(1, 10**6))
+    extras = draw(st.dictionaries(
+        st.text(max_size=8).filter(lambda k: k not in _RESERVED_REQUEST),
+        _json_values, max_size=3))
+    rec.update(extras)
+    return rec
+
+
+@st.composite
+def response_records(draw):
+    rec = {
+        "id": draw(st.none() | st.integers(-10**6, 10**6) | st.text(max_size=12)),
+        "ok": draw(st.booleans()),
+    }
+    if draw(st.booleans()):
+        rec["op"] = draw(st.sampled_from(_ALL_OPS))
+    if draw(st.booleans()):
+        rec["theory"] = draw(st.text(max_size=12))
+    if rec["ok"]:
+        rec["result"] = draw(_json_values)
+    else:
+        rec["error"] = draw(st.text(max_size=30))
+        rec["error_code"] = draw(st.text(max_size=20))
+    return rec
+
+
+class TestWireRoundTrip:
+    @given(rec=request_records())
+    def test_request_round_trips_exactly(self, rec):
+        assert decode_wire_request(encode_wire_request(rec)) == rec
+
+    @given(rec=request_records())
+    def test_parse_then_wire_round_trip(self, rec):
+        """The full pipeline: a protocol line is parsed, wire-encoded for the
+        worker, and decoded there into the *same* record the parser saw."""
+        kind, payload = parse_request_line(json.dumps(rec))
+        assert kind in ("query", "control", "quit")
+        assert payload == rec
+        assert decode_wire_request(encode_wire_request(payload)) == payload
+
+    @given(rec=response_records())
+    def test_response_round_trips_exactly(self, rec):
+        assert decode_wire_response(encode_wire_response(rec)) == rec
+
+    @given(wire=st.text(max_size=200))
+    @settings(max_examples=200)
+    def test_garbage_never_escapes_the_wire_error_type(self, wire):
+        for decode in (decode_wire_request, decode_wire_response):
+            try:
+                decode(wire)
+            except WireProtocolError as error:
+                assert error.code in (ERROR_MALFORMED, ERROR_UNKNOWN_OP)
+
+    def test_malformed_inputs_rejected_with_stable_codes(self):
+        cases = [
+            ("not json {", ERROR_MALFORMED),
+            ("null", ERROR_MALFORMED),
+            ('"just a string"', ERROR_MALFORMED),
+            ("[]", ERROR_MALFORMED),
+            ('[2,"sat",[0],[0,0,0],{}]', ERROR_MALFORMED),        # wrong version
+            ('[1,"bogus",[],[0,0,0],{}]', ERROR_UNKNOWN_OP),
+            ('[1,"sat",[0,0],[0,0,0],{}]', ERROR_MALFORMED),      # wrong arity
+            ('[1,"sat",[0],[0,0],{}]', ERROR_MALFORMED),          # optional arity
+            ('[1,"sat",[[1,2]],[0,0,0],{}]', ERROR_MALFORMED),    # bad slot
+            ('[1,"sat",[7],[0,0,0],{}]', ERROR_MALFORMED),        # bad slot value
+            ('[1,"sat",[0],[0,0,0],[]]', ERROR_MALFORMED),        # extras not a dict
+            ('[1,"sat",[0],[0,0,0],{"op":"x"}]', ERROR_MALFORMED),  # slot collision
+        ]
+        for wire, code in cases:
+            with pytest.raises(WireProtocolError) as excinfo:
+                decode_wire_request(wire)
+            assert excinfo.value.code == code, wire
+        for wire, code in [
+            ("nope", ERROR_MALFORMED),
+            ('[1,0,true,[0,0,0,0,0],{}]', ERROR_MALFORMED),   # absent id
+            ('[1,[3],"yes",[0,0,0,0,0],{}]', ERROR_MALFORMED),  # non-bool ok
+            ('[1,[3],true,[0,0,0,0,0],{"ok":false}]', ERROR_MALFORMED),
+        ]:
+            with pytest.raises(WireProtocolError) as excinfo:
+                decode_wire_response(wire)
+            assert excinfo.value.code == code, wire
+
+    def test_encode_rejects_unknown_op_and_bad_records(self):
+        with pytest.raises(WireProtocolError) as excinfo:
+            encode_wire_request({"op": "frobnicate"})
+        assert excinfo.value.code == ERROR_UNKNOWN_OP
+        with pytest.raises(WireProtocolError):
+            encode_wire_request("not a record")
+        with pytest.raises(WireProtocolError):
+            encode_wire_request({"op": "sat", "pred": object()})  # unserializable
+        with pytest.raises(WireProtocolError):
+            encode_wire_response({"ok": True})  # id missing
+        with pytest.raises(WireProtocolError):
+            encode_wire_response({"id": 1, "ok": "yes"})  # non-bool ok
+
+
+# ---------------------------------------------------------------------------
+# backend-parameterized behavior
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBackendParity:
+    def test_mixed_burst_ids_and_verdicts(self, backend):
+        sink = ListSink()
+        with QueryServer(workers=2, backend=backend) as server:
+            for i in range(6):
+                server.submit_line(record(op="sat", pred=f"x > {i}", id=f"sat-{i}"), sink)
+                server.submit_line(record(op="equiv", theory="bitvec",
+                                          left="a := T; a = T", right="a := T",
+                                          id=f"eq-{i}"), sink)
+            server.wait_idle(timeout=120)
+        by_id = {response["id"]: response for response in sink.responses}
+        assert len(by_id) == len(sink.responses) == 12
+        for i in range(6):
+            assert by_id[f"sat-{i}"]["result"]["satisfiable"] is True
+            assert by_id[f"eq-{i}"]["result"]["equivalent"] is True
+
+    def test_repeat_hits_the_same_warm_shard(self, backend):
+        sink = ListSink()
+        with QueryServer(workers=2, backend=backend) as server:
+            line = record(op="equiv", left="inc(x); x > 3", right="x > 2; inc(x)", id="q")
+            for _ in range(2):
+                server.submit_line(line, sink)
+                server.wait_idle(timeout=120)
+        cached = [response["result"].get("cached", False) for response in sink.responses]
+        assert cached.count(True) == 1
+
+    def test_deadline_expires_mid_search(self, backend, monkeypatch):
+        with make_server(backend, workers=1, oracle_ms=150, oracle_theories="incnat",
+                         monkeypatch=monkeypatch) as server:
+            server.wait_ready(timeout=60)
+            sink = ListSink()
+            server.submit_line(record(op="equiv", left="inc(x); x > 1",
+                                      right="x > 0; inc(x)", id="doomed",
+                                      deadline_ms=40), sink)
+            server.wait_idle(timeout=120)
+            server.submit_line(record(op="equiv", left="inc(x); x > 1",
+                                      right="x > 0; inc(x)", id="retry"), sink)
+            server.wait_idle(timeout=120)
+        by_id = {response["id"]: response for response in sink.responses}
+        assert by_id["doomed"]["ok"] is False
+        assert by_id["doomed"]["error_code"] == "deadline_exceeded"
+        # Cancellation corrupted nothing: the retry answers correctly.
+        assert by_id["retry"]["ok"] is True
+        assert by_id["retry"]["result"]["equivalent"] is True
+
+    def test_unknown_theory_is_a_structured_error(self, backend):
+        sink = ListSink()
+        with QueryServer(workers=1, backend=backend) as server:
+            server.submit_line(record(op="sat", theory="no-such", pred="x > 1", id="u"), sink)
+            server.wait_idle(timeout=120)
+        assert sink.responses[0]["error_code"] == "unknown_theory"
+
+    def test_stats_report_theories_server_block_and_shared(self, backend):
+        sink = ListSink()
+        with QueryServer(workers=2, backend=backend) as server:
+            server.submit_line(record(op="sat", pred="x > 1", id="q1"), sink)
+            server.submit_line(record(op="sat", theory="bitvec", pred="a = T", id="q2"), sink)
+            server.wait_idle(timeout=120)
+            server.submit_line(record(op="stats", id="s"), sink)
+            server.submit_line(record(op="ping", id="p"), sink)
+        stats = next(r for r in sink.responses if r["id"] == "s")["result"]
+        assert {"incnat", "bitvec"} <= set(stats)
+        assert stats["incnat"]["queries"] >= 1
+        assert stats["incnat"]["totals"]["misses"] >= 1
+        assert "deriv" in stats["shared"]["tables"]
+        assert stats["server"]["backend"] == backend
+        if backend == "process":
+            workers = stats["server"]["process_workers"]
+            assert len(workers) == 2
+            assert all(worker["alive"] for worker in workers)
+            assert sum(worker["requests"] for worker in workers) == 2
+        ping = next(r for r in sink.responses if r["id"] == "p")["result"]
+        assert ping["pong"] is True
+        assert set(ping["theories"]) == {"incnat", "bitvec"}
+
+    def test_server_is_restartable_after_shutdown(self, backend):
+        server = QueryServer(workers=1, backend=backend)
+        server.start()
+        server.shutdown(drain=True)
+        sink = ListSink()
+        try:
+            server.start()
+            # Intake must reopen: a restarted server used to answer every
+            # request with `shutting_down` because _accepting stayed False.
+            outcome = server.submit_line(record(op="sat", pred="x > 1", id="q"), sink)
+            assert outcome == "queued"
+            assert server.wait_idle(timeout=120)
+        finally:
+            server.shutdown(drain=True)
+        assert sink.responses[0]["ok"] is True
+
+    def test_serve_stdio_default_ids_and_quit_drain(self, backend):
+        stdin = io.StringIO("\n".join([
+            "# comment",
+            record(op="sat", pred="x > 1"),
+            record(op="sat", pred="x > 2"),
+            record(op="quit"),
+        ]))
+        stdout = io.StringIO()
+        served = serve_stdio(stdin, stdout, workers=2, backend=backend)
+        replies = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert served == 2
+        assert sorted(reply["id"] for reply in replies) == [1, 2]
+        assert all(reply["ok"] for reply in replies)
+
+
+class TestProcessBackendSpecifics:
+    def test_timed_out_ping_does_not_desync_the_worker_pipe(self):
+        """A ``wait_ready`` that gives up while a worker is still importing
+        leaves that ping's pong in the pipe; replies are sequence-matched, so
+        the stale pong must be discarded — not read as the next request's
+        reply, which used to respawn a healthy warm worker and answer the
+        request with a spurious ``worker_crashed``."""
+        with QueryServer(workers=1, backend="process") as server:
+            server.wait_ready(timeout=0.0001)  # near-certainly expires mid-import
+            sink = ListSink()
+            server.submit_line(record(op="sat", pred="x > 1", id="q"), sink)
+            assert server.wait_idle(timeout=120)
+            assert server.wait_ready(timeout=60) is True
+            info = server.backend.worker_info()
+        assert sink.responses[0]["ok"] is True
+        assert info[0]["restarts"] == 0
+
+    def test_socket_mode_runs_on_the_process_backend(self):
+        query_server = QueryServer(workers=2, backend="process")
+        with SocketServer(port=0, server=query_server) as srv:
+            conn = socket.create_connection(("127.0.0.1", srv.port))
+            stream = conn.makefile("rw", encoding="utf-8")
+            for i in range(3):
+                stream.write(record(op="sat", pred=f"x > {i}", id=f"s{i}") + "\n")
+            stream.write(record(op="quit") + "\n")
+            stream.flush()
+            replies = [json.loads(line) for line in stream]
+            conn.close()
+        assert sorted(reply["id"] for reply in replies) == ["s0", "s1", "s2"]
+        assert all(reply["ok"] for reply in replies)
+
+    def test_in_process_injection_is_rejected(self):
+        with pytest.raises(ValueError):
+            QueryServer(backend="process", theory_factory=build_theory)
+        from repro.engine.server import ShardedSessionPool
+
+        with pytest.raises(ValueError):
+            QueryServer(backend="process", pool=ShardedSessionPool())
+        with pytest.raises(ValueError):
+            QueryServer(backend="bogus")
+
+    def test_wait_ready_during_live_traffic_is_safe(self, monkeypatch):
+        """Readiness probes share each worker's pipe with its dispatcher;
+        per-handle locking must keep concurrent ``wait_ready`` calls from
+        recv-racing an in-flight query's reply (which used to tear down
+        healthy workers as spurious crashes)."""
+        with make_server("process", workers=2, oracle_ms=150, oracle_theories="incnat",
+                         monkeypatch=monkeypatch) as server:
+            assert server.wait_ready(timeout=60)
+            sink = ListSink()
+            for i in range(4):
+                server.submit_line(record(op="equiv", left=f"inc(x); x > {i + 1}",
+                                          right=f"x > {i}; inc(x)", id=f"q{i}"), sink)
+            for _ in range(20):  # hammer readiness while queries are in flight
+                server.wait_ready(timeout=0.02)
+                time.sleep(0.01)
+            assert server.wait_idle(timeout=120)
+            info = server.backend.worker_info()
+        by_id = {response["id"]: response for response in sink.responses}
+        assert len(by_id) == len(sink.responses) == 4
+        assert all(response["ok"] for response in by_id.values())
+        assert all(worker["restarts"] == 0 for worker in info)
+
+    def test_invalid_stripes_fail_fast_for_both_backends(self):
+        # The process backend builds its pools inside the workers, so stripe
+        # validation must happen at server construction, not first query.
+        for backend in BACKENDS:
+            with pytest.raises(ValueError):
+                QueryServer(backend=backend, stripes=0)
+            with pytest.raises(ValueError):
+                QueryServer(backend=backend, stripes=-2)
+
+    def test_bad_factory_spec_fails_fast_in_the_parent(self):
+        with pytest.raises(ValueError):
+            QueryServer(backend="process", theory_factory_spec="no colon")
+        with pytest.raises(ModuleNotFoundError):
+            QueryServer(backend="process", theory_factory_spec="no.such.module:attr")
+
+    def test_thread_backend_accepts_a_factory_spec_too(self):
+        sink = ListSink()
+        with QueryServer(workers=1, backend="thread",
+                         theory_factory_spec=ORACLE_SPEC) as server:
+            server.submit_line(record(op="sat", pred="x > 1", id="q"), sink)
+            server.wait_idle(timeout=60)
+        assert sink.responses[0]["ok"] is True
+
+    def test_merge_pool_stats_sums_counters_and_recomputes_rates(self):
+        def table(hits, misses):
+            return {"name": "norm", "hits": hits, "misses": misses,
+                    "puts": misses, "evictions": 0, "hit_rate": 0.0}
+
+        block_a = {
+            "incnat": {"stripes": 1, "queries": 3, "tables": {"norm": table(3, 1)},
+                       "totals": {"hits": 3, "misses": 1}},
+            "shared": {"tables": {"deriv": table(10, 5)}},
+        }
+        block_b = {
+            "incnat": {"stripes": 2, "queries": 5, "tables": {"norm": table(1, 3)},
+                       "totals": {"hits": 1, "misses": 3}},
+            "bitvec": {"stripes": 1, "queries": 1, "tables": {"norm": table(0, 1)},
+                       "totals": {"hits": 0, "misses": 1}},
+            "shared": {"tables": {"deriv": table(2, 3)}},
+        }
+        merged = merge_pool_stats([block_a, block_b])
+        assert merged["incnat"]["stripes"] == 3
+        assert merged["incnat"]["queries"] == 8
+        assert merged["incnat"]["tables"]["norm"]["hits"] == 4
+        assert merged["incnat"]["tables"]["norm"]["hit_rate"] == 0.5
+        assert merged["incnat"]["totals"] == {"hits": 4, "misses": 4}
+        assert merged["bitvec"]["queries"] == 1
+        assert merged["shared"]["tables"]["deriv"]["hits"] == 12
+        assert merged["shared"]["tables"]["deriv"]["hit_rate"] == round(12 / 20, 4)
+
+    def test_cli_serve_process_backend(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        stdin = io.StringIO("\n".join([
+            record(op="sat", pred="x > 1"),
+            record(op="quit"),
+        ]))
+        monkeypatch.setattr("sys.stdin", stdin)
+        code = main(["serve", "--backend", "process", "--workers", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        replies = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(replies) == 1 and replies[0]["ok"]
+        assert "# served 1 requests" in captured.err
