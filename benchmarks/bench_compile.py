@@ -1,0 +1,249 @@
+"""Compiled symbolic automata: cold compilation vs warm ``aut``-cache reuse.
+
+Two questions, answered on the paper's nested-sums-under-star family (the
+Section 5 scaling shape also used by ``bench_cell_search.py``):
+
+1. **Does the ``aut`` cache pay?**  Each size runs the same equivalence
+   query twice through one checker + caches bundle: *cold* (every
+   restricted-action sum compiled and minimized from scratch) and *warm*
+   (the equivalence/signature verdict memos are cleared so the signature
+   search and product walks genuinely re-run, but the compiled automata are
+   served from the ``aut`` LRU).  The warm run must perform **zero** new
+   compilations — that part is deterministic and gated in both modes — and
+   the full run additionally gates the wall-clock speedup.
+
+2. **What does compilation cost against the derivative walk?**  For the
+   family's loop actions ``L`` vs ``L;L`` (equivalent by ``m*;m* == m*``),
+   compare the legacy pairwise ``language_compare`` against compile +
+   ``compiled_compare`` — once cold (compilation amortized over a single
+   comparison) and once hot (automata precompiled, the regime every warm
+   session lives in after the first query touching a sum).
+
+Run directly to emit the ``BENCH_compile.json`` artifact at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_compile.py            # full
+    PYTHONPATH=src python benchmarks/bench_compile.py --smoke    # CI gate
+
+Also collectable with pytest as a regression guard (deterministic gates
+only — wall clock is never gated in the smoke/pytest lane).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.core import terms as T
+from repro.core.automata import language_compare, set_derivative_cache
+from repro.core.compile import compile_automaton, compiled_compare
+from repro.core.decision import EquivalenceChecker
+from repro.core.pushback import Normalizer
+from repro.engine.cache import DERIVATIVE_CACHE, EngineCaches
+from repro.theories.bitvec import BitVecTheory
+
+#: (loop summands m, chain depth d) per size, smallest to largest.  ``m``
+#: controls the number of guards (and hence signatures / distinct enabled
+#: sums); ``d`` the length of each summand's action chain, which is what
+#: grows the automata.  ``m`` stays at 2: the star-of-sums pushback is
+#: doubly exponential in the summand count (the paper's Denest blow-up), and
+#: normalization is not what this benchmark measures.
+SIZES = [(1, 2), (2, 2), (2, 4), (2, 6), (2, 8)]
+SMOKE_SIZES = [(1, 2), (2, 2)]
+
+#: Full-run gate: warm aut-cache reuse vs cold compilation at the largest size.
+WARM_SPEEDUP_TARGET = 5.0
+#: How many repeated comparisons the hot (precompiled) regime amortizes over.
+HOT_REPEATS = 25
+
+
+def _chain_sum_loop(theory, m, d):
+    """Nested sums under star with depth-``d`` action chains:
+
+    ``(x1 = F; y1_1 := T; ...; y1_d := T  +  ...  +  xm = F; ym_1 := T; ...)*``
+
+    The Section 5 flip-loop shape, with each summand's single assignment
+    deepened into a chain of ``d`` distinct assignments so the compiled
+    automata have ~``m*d`` states over ~``m*d`` symbols — compilation, not
+    solving, is the dominant cost, which is the regime the ``aut`` cache
+    exists for.
+    """
+    summands = []
+    for index in range(1, m + 1):
+        chain = T.ttest(theory.eq(f"x{index}", False))
+        for depth in range(1, d + 1):
+            chain = T.tseq(chain, theory.assign(f"y{index}_{depth}", True))
+        summands.append(chain)
+    return T.tstar(T.tplus_all(summands))
+
+
+def family_pair(m, d):
+    theory = BitVecTheory()
+    loop = _chain_sum_loop(theory, m, d)
+    left = loop
+    right = T.tseq(loop, loop)
+    return theory, left, right, loop
+
+
+def _measure_cold_warm(theory, left, right):
+    """One size's cold-compile vs warm-aut-reuse row (normalization excluded)."""
+    normalizer = Normalizer(theory, budget=5_000_000)
+    x, y = normalizer.normalize(left), normalizer.normalize(right)
+    caches = EngineCaches()
+    checker = EquivalenceChecker(theory, caches=caches)
+    started = time.perf_counter()
+    cold_result = checker.check_equivalent_nf(x, y)
+    cold_seconds = time.perf_counter() - started
+    if not cold_result.equivalent:
+        raise AssertionError("benchmark pair unexpectedly inequivalent (cold)")
+    cold_states = checker.states_compiled
+    cold_aut_misses = caches.aut.stats.misses
+    # Clear the verdict memos so the signature search and every product walk
+    # re-run; only the compiled automata (and satisfiability memos) stay warm.
+    caches.equiv.clear()
+    caches.sig.clear()
+    hits_before = caches.aut.stats.hits
+    started = time.perf_counter()
+    warm_result = checker.check_equivalent_nf(x, y)
+    warm_seconds = time.perf_counter() - started
+    if not warm_result.equivalent:
+        raise AssertionError("benchmark pair unexpectedly inequivalent (warm)")
+    return {
+        "cold": {
+            "seconds": round(cold_seconds, 6),
+            "states_compiled": cold_states,
+            "aut_misses": cold_aut_misses,
+        },
+        "warm": {
+            "seconds": round(warm_seconds, 6),
+            "states_compiled": checker.states_compiled - cold_states,
+            "aut_hits": caches.aut.stats.hits - hits_before,
+        },
+        "warm_speedup": round(cold_seconds / warm_seconds, 2) if warm_seconds else float("inf"),
+    }
+
+
+def _measure_compare(theory, loop):
+    """Compiled vs derivative comparison of the loop's restricted-action sums.
+
+    ``L`` vs ``L;L`` themselves contain primitive tests; what the decision
+    procedure compares per cell are the *restricted-action sums* of their
+    normal forms — exactly what a signature with every guard enabled sees.
+    """
+    normalizer = Normalizer(theory, budget=5_000_000)
+    left = T.tplus_all(action for _, action in normalizer.normalize(loop).sorted_pairs())
+    right = T.tplus_all(
+        action
+        for _, action in normalizer.normalize(T.tseq(loop, loop)).sorted_pairs()
+    )
+    started = time.perf_counter()
+    derivative_equal, _ = language_compare(left, right)
+    derivative_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    a, b = compile_automaton(left), compile_automaton(right)
+    compiled_equal, _ = compiled_compare(a, b)
+    compiled_cold_seconds = time.perf_counter() - started
+    if not (derivative_equal and compiled_equal):
+        raise AssertionError("loop pair unexpectedly inequivalent")
+    # Hot regime: automata already cached, repeated comparisons (what a warm
+    # session pays per signature after the first query touching these sums).
+    started = time.perf_counter()
+    for _ in range(HOT_REPEATS):
+        compiled_compare(a, b)
+    compiled_hot_seconds = (time.perf_counter() - started) / HOT_REPEATS
+    started = time.perf_counter()
+    for _ in range(HOT_REPEATS):
+        language_compare(left, right)
+    derivative_hot_seconds = (time.perf_counter() - started) / HOT_REPEATS
+    return {
+        "automaton_states": {"left": a.state_count, "right": b.state_count,
+                             "left_raw": a.raw_states, "right_raw": b.raw_states},
+        "language_compare_seconds": round(derivative_seconds, 6),
+        "language_compare_hot_seconds": round(derivative_hot_seconds, 6),
+        "compiled_cold_seconds": round(compiled_cold_seconds, 6),
+        "compiled_hot_seconds": round(compiled_hot_seconds, 6),
+        "hot_speedup": (
+            round(derivative_hot_seconds / compiled_hot_seconds, 2)
+            if compiled_hot_seconds else float("inf")
+        ),
+    }
+
+
+def run_all(smoke=False):
+    # The decision procedure always runs with the shared derivative memo
+    # installed (sessions install it); give the derivative baseline the same
+    # advantage so the comparison is honest.
+    set_derivative_cache(DERIVATIVE_CACHE)
+    rows = []
+    for m, d in (SMOKE_SIZES if smoke else SIZES):
+        theory, left, right, loop = family_pair(m, d)
+        row = {"size": [m, d]}
+        row.update(_measure_cold_warm(theory, left, right))
+        row["compare"] = _measure_compare(theory, loop)
+        rows.append(row)
+    return {
+        "benchmark": "compile",
+        "description": (
+            "cold compilation vs warm aut-cache reuse, and compiled product "
+            "walks vs derivative language_compare, on the nested-sums-under-"
+            "star family"
+        ),
+        "smoke": smoke,
+        "sizes": rows,
+        "largest_warm_speedup": rows[-1]["warm_speedup"],
+        "largest_hot_speedup": rows[-1]["compare"]["hot_speedup"],
+    }
+
+
+def check_report(report, require_speedup=True):
+    """The acceptance gates; returns a list of failure strings."""
+    failures = []
+    for row in report["sizes"]:
+        if row["cold"]["states_compiled"] <= 0:
+            failures.append(f"size {row['size']}: cold run compiled no automata")
+        if row["warm"]["states_compiled"] != 0:
+            failures.append(
+                f"size {row['size']}: warm run compiled "
+                f"{row['warm']['states_compiled']} states instead of reusing the aut cache"
+            )
+        if row["warm"]["aut_hits"] <= 0:
+            failures.append(f"size {row['size']}: warm run never hit the aut cache")
+    if require_speedup and report["largest_warm_speedup"] < WARM_SPEEDUP_TARGET:
+        failures.append(
+            f"largest-size warm speedup {report['largest_warm_speedup']}x "
+            f"below the {WARM_SPEEDUP_TARGET}x target"
+        )
+    return failures
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    report = run_all(smoke=smoke)
+    artifact = os.path.normpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_compile.json")
+    )
+    if not smoke:
+        with open(artifact, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if not smoke:
+        print(f"# wrote {artifact}")
+    # Wall clock is only gated on the full run; the smoke lane (CI) checks
+    # the deterministic compilation/cache-hit counters.
+    failures = check_report(report, require_speedup=not smoke)
+    for failure in failures:
+        print(f"# FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def test_warm_aut_cache_reuses_compiled_automata():
+    """Regression guard: the warm run never recompiles (deterministic)."""
+    report = run_all(smoke=True)
+    assert check_report(report, require_speedup=False) == []
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,10 +2,12 @@
 
 Usage (installed as the ``kmt`` console script, also ``python -m repro``)::
 
-    kmt equiv   --theory incnat "inc(x)*; x > 10" "inc(x)*; inc(x)*; x > 10"
-    kmt norm    --theory bitvec "x = F; (flip x; flip x)*"
-    kmt sat     --theory incnat "x > 5; ~(x > 3)"
-    kmt classes --theory incnat terms.txt        # one term per line, '#' comments
+    kmt --theory incnat equiv  "inc(x)*; x > 10" "inc(x)*; inc(x)*; x > 10"
+    kmt --theory incnat incl   "inc(x)" "inc(x) + inc(y)"
+    kmt --theory incnat member "(inc(x))*; x > 1" "inc(x)" "inc(x)"
+    kmt --theory bitvec norm   "x = F; (flip x; flip x)*"
+    kmt --theory incnat sat    "x > 5; ~(x > 3)"
+    kmt --theory incnat classes terms.txt        # one term per line, '#' comments
     kmt batch   queries.jsonl                    # JSONL batch over engine sessions
     kmt serve                                    # stdin/stdout JSONL serve loop
 
@@ -45,6 +47,31 @@ def cmd_equiv(args):
     if result.counterexample is not None:
         print("counterexample:", result.counterexample.describe())
     return 0 if result.equivalent else 1
+
+
+def cmd_incl(args):
+    kmt = _make_kmt(args)
+    started = time.perf_counter()
+    result = kmt.check_inclusion(args.left, args.right)
+    elapsed = time.perf_counter() - started
+    verdict = "included" if result.includes else "NOT included"
+    detail = f"{elapsed:.3f}s, {result.cells_explored} cells explored"
+    if args.cell_search == "signature":
+        detail += f", {result.signatures_explored} signatures"
+    print(f"{verdict}  ({detail})")
+    if result.counterexample is not None:
+        cex = result.counterexample
+        print("witness:", cex.describe())
+    return 0 if result.includes else 1
+
+
+def cmd_member(args):
+    kmt = _make_kmt(args)
+    started = time.perf_counter()
+    verdict = kmt.member(args.term, args.word)
+    elapsed = time.perf_counter() - started
+    print(f"{'member' if verdict else 'NOT a member'}  ({elapsed:.3f}s)")
+    return 0 if verdict else 1
 
 
 def cmd_norm(args):
@@ -232,6 +259,31 @@ def make_arg_parser():
     equiv.add_argument("left")
     equiv.add_argument("right")
     equiv.set_defaults(func=cmd_equiv)
+
+    incl = sub.add_parser(
+        "incl",
+        help=(
+            "decide inclusion left <= right (per-cell compiled-automaton "
+            "containment, with a shortest witness word on failure)"
+        ),
+    )
+    incl.add_argument("left")
+    incl.add_argument("right")
+    incl.set_defaults(func=cmd_incl)
+
+    member = sub.add_parser(
+        "member",
+        help=(
+            "decide whether a word of primitive actions is a possible action "
+            "sequence of a term"
+        ),
+    )
+    member.add_argument("term")
+    member.add_argument(
+        "word", nargs="*",
+        help="primitive actions, one per argument (or ';'-separated in one)",
+    )
+    member.set_defaults(func=cmd_member)
 
     norm = sub.add_parser("norm", help="print the normal form of a term")
     norm.add_argument("term")

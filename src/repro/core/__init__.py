@@ -14,6 +14,9 @@ The modules in this package implement Section 3 and Section 4 of the paper:
   (Fig. 8).
 * :mod:`repro.core.regexes`, :mod:`repro.core.automata` — regular
   interpretation of restricted actions and word-automata equivalence.
+* :mod:`repro.core.compile` — compiled symbolic automata: an explicit,
+  Hopcroft-minimized DFA IR for restricted actions with product-walk
+  equivalence/containment and word membership.
 * :mod:`repro.core.decision` — the normalization-based equivalence decision
   procedure (Theorem 3.7).
 * :mod:`repro.core.kmt` — the ``KMT`` facade combining everything for a given

@@ -15,7 +15,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.core import terms as T
-from repro.utils.errors import KmtError
+from repro.utils.errors import CounterexampleBoundExceeded, KmtError
 
 
 # ---------------------------------------------------------------------------
@@ -165,11 +165,79 @@ def _derivative_raw(m, pi):
     raise TypeError(f"not a Term: {m!r}")
 
 
+# Memo tables for the primitive-action alphabets.  Keys are the hash-consed
+# terms themselves (structurally equal nodes are one object, and even after a
+# ``clear_intern_table`` a re-built node still compares equal to the old key,
+# so entries never go stale).  Before this memo every ``language_compare`` /
+# ``language_is_empty`` call re-walked both terms and re-sorted the alphabet
+# by ``repr`` — pure waste on the decision procedure's hot loop, which keeps
+# comparing the same restricted-action sums.  Each table is capped: a
+# long-lived server streaming ever-new terms must not grow them without
+# bound (the pair table is quadratic in distinct actions at worst), so on
+# overflow a table is simply reset — hot entries re-memoize on next use,
+# which is cheaper machinery than a full LRU for what is a pure-function
+# memo.
+_ALPHABET_CACHE_LIMIT = 1 << 16
+
+_ALPHA_CACHE = {}       # restricted action -> frozenset of primitive actions
+_SIGMA_CACHE = {}       # restricted action -> tuple sorted in canonical order
+_SIGMA_PAIR_CACHE = {}  # (m, n) -> merged sorted tuple
+
+
+def clear_alphabet_caches():
+    """Drop the alphabet memo tables (never required for correctness)."""
+    _ALPHA_CACHE.clear()
+    _SIGMA_CACHE.clear()
+    _SIGMA_PAIR_CACHE.clear()
+
+
+def _memo_capped(cache, key, value):
+    if len(cache) >= _ALPHABET_CACHE_LIMIT:
+        cache.clear()
+    cache[key] = value
+    return value
+
+
+def _alphabet_of(m):
+    cached = _ALPHA_CACHE.get(m)
+    if cached is None:
+        cached = _memo_capped(_ALPHA_CACHE, m, frozenset(T.primitive_actions(m)))
+    return cached
+
+
+def sorted_alphabet(m):
+    """The alphabet of one restricted action in canonical (repr-sorted) order.
+
+    This order is *the* canonical symbol order of the compiled-automaton IR
+    (:mod:`repro.core.compile`): transition arrays are indexed by position in
+    this tuple, so every consumer must agree on it.
+    """
+    cached = _SIGMA_CACHE.get(m)
+    if cached is None:
+        cached = _memo_capped(
+            _SIGMA_CACHE, m, tuple(sorted(_alphabet_of(m), key=repr))
+        )
+    return cached
+
+
+def sorted_alphabet_pair(m, n):
+    """The merged canonical alphabet of two restricted actions (memoized)."""
+    if m == n:
+        return sorted_alphabet(m)
+    key = (m, n)
+    cached = _SIGMA_PAIR_CACHE.get(key)
+    if cached is None:
+        a, b = sorted_alphabet(m), sorted_alphabet(n)
+        merged = a if a == b else tuple(sorted(set(a) | set(b), key=repr))
+        cached = _memo_capped(_SIGMA_PAIR_CACHE, key, merged)
+    return cached
+
+
 def alphabet(*terms):
     """The combined primitive-action alphabet of the given restricted actions."""
     out = set()
     for m in terms:
-        out |= T.primitive_actions(m)
+        out |= _alphabet_of(m)
     return out
 
 
@@ -181,7 +249,7 @@ def alphabet(*terms):
 def language_is_empty(m):
     """True iff ``R(m)`` is empty (no reachable nullable derivative)."""
     m = canonical(m)
-    sigma = sorted(alphabet(m), key=repr)
+    sigma = sorted_alphabet(m)
     seen = {m}
     queue = deque([m])
     while queue:
@@ -251,7 +319,7 @@ def language_compare(m, n, max_states=None, cancel=None):
     if not T.is_restricted(m) or not T.is_restricted(n):
         raise KmtError("language_compare expects restricted actions")
     m, n = canonical(m), canonical(n)
-    sigma = sorted(alphabet(m, n), key=repr)
+    sigma = sorted_alphabet_pair(m, n)
     uf = _UnionFind()
     uf.union(("L", m), ("R", n))
     queue = deque([((), m, n)])
@@ -286,16 +354,24 @@ def counterexample_word(m, n, max_length=16):
 
     Breadth-first product search; mainly a debugging aid for failed
     equivalences and for tests of :func:`language_equivalent` itself.
+    ``None`` always means *proved equivalent*: if the search has to truncate
+    at ``max_length`` before exhausting the product space, it raises
+    :class:`~repro.utils.errors.CounterexampleBoundExceeded` instead of
+    silently returning the equivalence answer (the old behaviour conflated
+    "equivalent" with "bound hit").  For an exact, bound-free shortest
+    witness use :func:`repro.core.compile.compiled_compare`.
     """
     m, n = canonical(m), canonical(n)
-    sigma = sorted(alphabet(m, n), key=repr)
+    sigma = sorted_alphabet_pair(m, n)
     seen = {(m, n)}
     queue = deque([((), m, n)])
+    truncated = False
     while queue:
         word, p, q = queue.popleft()
         if nullable(p) != nullable(q):
             return word
         if len(word) >= max_length:
+            truncated = True
             continue
         for pi in sigma:
             dp = derivative(p, pi)
@@ -303,13 +379,15 @@ def counterexample_word(m, n, max_length=16):
             if (dp, dq) not in seen:
                 seen.add((dp, dq))
                 queue.append((word + (pi,), dp, dq))
+    if truncated:
+        raise CounterexampleBoundExceeded(max_length)
     return None
 
 
 def derivative_states(m, max_states=10_000):
     """All derivative states reachable from ``m`` (for diagnostics/benchmarks)."""
     m = canonical(m)
-    sigma = sorted(alphabet(m), key=repr)
+    sigma = sorted_alphabet(m)
     seen = {m}
     queue = deque([m])
     while queue:

@@ -1,0 +1,409 @@
+"""Compiled symbolic automata over restricted actions.
+
+The decision procedure's hot loop compares restricted-action sums as regular
+languages.  The implicit-automaton route (:mod:`repro.core.automata`) walks
+Brzozowski derivatives of *terms* pairwise — every comparison re-derives the
+same states, and nothing of the finished state graph survives the call.  This
+module instead *compiles* a restricted action once into an explicit
+:class:`CompiledAutomaton`:
+
+* **dense int states** — derivative states are numbered 0..n-1 in BFS
+  discovery order (state 0 is the start state);
+* **transition arrays** — ``delta[s][k]`` is the successor of state ``s``
+  under the ``k``-th symbol of the **canonical alphabet order**
+  (:func:`repro.core.automata.sorted_alphabet`), so a product walk is two
+  tuple indexings instead of two derivative computations;
+* **accepting bitset** — an int bitmask, ``accepting >> s & 1``;
+* **back-pointers** — each non-initial state records ``(predecessor,
+  symbol_index)`` from its BFS discovery, so a shortest access word for any
+  state (hence shortest witness words) is read off by walking pointers back
+  to the start state.
+
+Compilation finishes with **Hopcroft's partition-refinement minimization**,
+so the cached artifact is the canonical minimal DFA of the action's language:
+as small as the language allows, independent of the syntactic shape the
+normalizer happened to produce.
+
+On top of the IR, three query operations:
+
+* :func:`compiled_compare` — language equivalence with a *shortest*
+  distinguishing word (BFS product walk, no state bound needed: the automata
+  are finite by construction);
+* :func:`compiled_includes` — language containment ``L(a) ⊆ L(b)`` via
+  product emptiness, with a shortest word in ``L(a) \\ L(b)`` as witness;
+* :meth:`CompiledAutomaton.accepts` — word membership in O(|word|) table
+  lookups.
+
+Automata compiled from different actions may have different alphabets; the
+product walks reconcile them with an implicit non-accepting *dead* sink: a
+symbol outside an automaton's alphabet derives every state of that automaton
+to the empty language (the Brzozowski derivative of a term not mentioning the
+symbol is ``0``), which is exactly the sink's behaviour.
+
+The engine layer caches compiled automata in a per-session ``aut`` LRU
+(:class:`repro.engine.cache.EngineCaches`), keyed by the action's stable
+fingerprint — a warm session that has seen a restricted-action sum in any
+earlier query or signature reuses the minimized automaton instead of
+re-deriving it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core import terms as T
+from repro.core.automata import (
+    canonical,
+    derivative,
+    nullable,
+    sorted_alphabet,
+)
+from repro.utils.errors import KmtError
+
+#: Sink pseudo-state used by the product walks for symbols missing from one
+#: automaton's alphabet: non-accepting, and every transition loops on it.
+_DEAD = -1
+
+
+class CompiledAutomaton:
+    """An explicit, minimized DFA for one restricted action's language.
+
+    Instances are immutable value objects: they are shared through the
+    engine's ``aut`` cache across queries (and threads), so nothing may
+    mutate them after construction.
+    """
+
+    __slots__ = ("sigma", "delta", "accepting", "back", "raw_states", "_index")
+
+    #: The start state (states are renumbered so it is always 0).
+    initial = 0
+
+    def __init__(self, sigma, delta, accepting, back, raw_states):
+        object.__setattr__(self, "sigma", tuple(sigma))
+        object.__setattr__(self, "delta", tuple(tuple(row) for row in delta))
+        object.__setattr__(self, "accepting", accepting)
+        object.__setattr__(self, "back", tuple(back))
+        object.__setattr__(self, "raw_states", raw_states)
+        object.__setattr__(
+            self, "_index", {pi: k for k, pi in enumerate(self.sigma)}
+        )
+
+    def __setattr__(self, name, value):
+        raise AttributeError(
+            f"CompiledAutomaton is immutable (attempted to set {name!r}); "
+            "instances are shared through the engine's aut cache"
+        )
+
+    def __delattr__(self, name):
+        self.__setattr__(name, None)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def state_count(self):
+        return len(self.delta)
+
+    def __len__(self):
+        return len(self.delta)
+
+    def is_accepting(self, state):
+        return state != _DEAD and bool((self.accepting >> state) & 1)
+
+    def symbol_index(self, pi):
+        """Position of a primitive action in the canonical order (None if absent)."""
+        return self._index.get(pi)
+
+    def step(self, state, pi):
+        """One transition; symbols outside the alphabet go to the dead sink."""
+        if state == _DEAD:
+            return _DEAD
+        k = self._index.get(pi)
+        if k is None:
+            return _DEAD
+        return self.delta[state][k]
+
+    def __repr__(self):
+        return (
+            f"CompiledAutomaton(states={self.state_count}, "
+            f"symbols={len(self.sigma)}, raw_states={self.raw_states}, "
+            f"empty={self.is_empty()})"
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_empty(self):
+        """True iff the language is empty.
+
+        Every state is reachable by construction (BFS from the start state),
+        so emptiness is just "no accepting bit set".
+        """
+        return self.accepting == 0
+
+    def accepts(self, word):
+        """Word membership: does the automaton accept this sequence of
+        primitive actions?  Unknown symbols fall into the dead sink."""
+        state = self.initial
+        for pi in word:
+            state = self.step(state, pi)
+            if state == _DEAD:
+                return False
+        return self.is_accepting(state)
+
+    def access_word(self, state):
+        """A shortest word reaching ``state`` from the start state.
+
+        Read off the BFS back-pointers; states are discovered in
+        nondecreasing distance, so the recorded path is shortest.
+        """
+        word = []
+        while state != self.initial:
+            state, k = self.back[state]
+            word.append(self.sigma[k])
+        word.reverse()
+        return tuple(word)
+
+    def shortest_accepted_word(self):
+        """A shortest accepted word, or ``None`` when the language is empty.
+
+        States are numbered in BFS discovery order, so the lowest-numbered
+        accepting state has minimal distance from the start.
+        """
+        accepting = self.accepting
+        if accepting == 0:
+            return None
+        state = 0
+        while not (accepting >> state) & 1:
+            state += 1
+        return self.access_word(state)
+
+
+# ---------------------------------------------------------------------------
+# compilation
+# ---------------------------------------------------------------------------
+
+
+def compile_automaton(action, cancel=None, minimize=True):
+    """Compile a restricted action into a :class:`CompiledAutomaton`.
+
+    Runs one BFS over the action's Brzozowski derivatives (through the
+    process-wide derivative memo, when installed), recording dense state ids,
+    transition rows in canonical alphabet order, the accepting bitset and the
+    discovery back-pointers — then minimizes with Hopcroft's algorithm
+    (``minimize=False`` keeps the raw derivative automaton, for tests and the
+    minimization benchmark).  ``cancel`` is the usual cooperative-cancellation
+    callable, invoked once per explored state.
+    """
+    if not T.is_restricted(action):
+        raise KmtError("compile_automaton expects a restricted action")
+    start = canonical(action)
+    sigma = sorted_alphabet(start)
+    state_ids = {start: 0}
+    order = [start]
+    delta = []
+    back = [None]
+    accepting = 0
+    frontier = deque([start])
+    while frontier:
+        state = frontier.popleft()
+        if cancel is not None:
+            cancel()
+        sid = state_ids[state]
+        if nullable(state):
+            accepting |= 1 << sid
+        row = []
+        for k, pi in enumerate(sigma):
+            nxt = derivative(state, pi)
+            nid = state_ids.get(nxt)
+            if nid is None:
+                nid = len(order)
+                state_ids[nxt] = nid
+                order.append(nxt)
+                back.append((sid, k))
+                frontier.append(nxt)
+            row.append(nid)
+        delta.append(row)
+    raw_states = len(order)
+    if not minimize:
+        return CompiledAutomaton(sigma, delta, accepting, back, raw_states)
+    return _minimized(sigma, delta, accepting, raw_states, cancel=cancel)
+
+
+def _minimized(sigma, delta, accepting, raw_states, cancel=None):
+    """Quotient a (complete, fully reachable) DFA by Hopcroft's partition."""
+    n = len(delta)
+    block_of = _hopcroft(n, len(sigma), delta, accepting, cancel=cancel)
+    # Renumber the quotient automaton by a fresh BFS from the initial block,
+    # restoring the IR invariants (state 0 initial, BFS discovery order,
+    # shortest-access back-pointers).  Representatives suffice: states in one
+    # block agree on acceptance and on the blocks their successors fall in.
+    rep_of_block = {}
+    for state in range(n):
+        rep_of_block.setdefault(block_of[state], state)
+    new_id = {block_of[0]: 0}
+    new_delta = []
+    new_back = [None]
+    new_accepting = 0
+    queue = deque([block_of[0]])
+    order = [block_of[0]]
+    while queue:
+        block = queue.popleft()
+        rep = rep_of_block[block]
+        sid = new_id[block]
+        if (accepting >> rep) & 1:
+            new_accepting |= 1 << sid
+        row = []
+        for k in range(len(sigma)):
+            succ_block = block_of[delta[rep][k]]
+            nid = new_id.get(succ_block)
+            if nid is None:
+                nid = len(order)
+                new_id[succ_block] = nid
+                order.append(succ_block)
+                new_back.append((sid, k))
+                queue.append(succ_block)
+            row.append(nid)
+        new_delta.append(row)
+    return CompiledAutomaton(sigma, new_delta, new_accepting, new_back, raw_states)
+
+
+def _hopcroft(n, nsym, delta, accepting, cancel=None):
+    """Hopcroft's DFA minimization; returns a block id per state.
+
+    Worklist refinement over the accepting/non-accepting seed partition: pop
+    a splitter block, collect the predecessors of its members per symbol, and
+    split exactly the blocks those predecessors touch (never scanning the
+    rest of the partition).  When a split block was not pending, only the
+    smaller half is enqueued — the classic O(n·s·log n) recipe.  Splitting by
+    a popped block's *current* members stays sound because any refinement of
+    a pending block enqueues the carved-off half too, so the original set's
+    full splitting power is always still pending.  ``cancel`` is checked once
+    per popped splitter (minimization can dominate compile time on large
+    automata, and a deadline must be able to interrupt it).
+    """
+    if n <= 1:
+        return [0] * n
+    acc = {s for s in range(n) if (accepting >> s) & 1}
+    rest = set(range(n)) - acc
+    if not acc or not rest:
+        return [0] * n
+    preds = [{} for _ in range(nsym)]  # symbol -> {target -> [sources]}
+    for source, row in enumerate(delta):
+        for k, target in enumerate(row):
+            preds[k].setdefault(target, []).append(source)
+    blocks = {0: acc, 1: rest}  # block id -> set of states
+    block_of = [0 if (accepting >> s) & 1 else 1 for s in range(n)]
+    next_id = 2
+    worklist = {0 if len(acc) <= len(rest) else 1}
+    while worklist:
+        if cancel is not None:
+            cancel()
+        splitter_id = worklist.pop()
+        splitter = list(blocks[splitter_id])
+        for k in range(nsym):
+            into = preds[k]
+            x = []
+            for target in splitter:
+                x.extend(into.get(target, ()))
+            # Group the predecessors by the block they currently sit in; only
+            # those blocks can split.
+            touched = {}
+            for state in x:
+                touched.setdefault(block_of[state], set()).add(state)
+            for old_id, movers in touched.items():
+                old_block = blocks[old_id]
+                if len(movers) == len(old_block):
+                    continue  # the whole block steps into the splitter
+                new_id = next_id
+                next_id += 1
+                # In place, not a copy: carving a few states out of a big
+                # block must cost O(|movers|), or chain-shaped automata (one
+                # state carved per round) degrade to quadratic.
+                old_block.difference_update(movers)
+                blocks[new_id] = movers
+                for state in movers:
+                    block_of[state] = new_id
+                if old_id in worklist:
+                    worklist.add(new_id)
+                else:
+                    worklist.add(new_id if len(movers) <= len(blocks[old_id]) else old_id)
+    # Relabel block ids contiguously in first-seen state order (the caller
+    # renumbers by BFS anyway; this just keeps the mapping dense).
+    remap = {}
+    return [remap.setdefault(block_of[state], len(remap)) for state in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# product walks
+# ---------------------------------------------------------------------------
+
+
+def _merged_sigma(a, b):
+    """The two automata's alphabets merged in canonical order, plus the
+    per-automaton symbol-index maps (``_DEAD`` marks an absent symbol)."""
+    if a.sigma == b.sigma:
+        merged = a.sigma
+    else:
+        merged = tuple(sorted(set(a.sigma) | set(b.sigma), key=repr))
+    map_a = tuple(
+        a._index[pi] if pi in a._index else _DEAD for pi in merged
+    )
+    map_b = tuple(
+        b._index[pi] if pi in b._index else _DEAD for pi in merged
+    )
+    return merged, map_a, map_b
+
+
+def _product_search(a, b, mismatch, cancel=None):
+    """BFS over the product automaton for the first ``mismatch`` pair.
+
+    ``mismatch(acc_a, acc_b)`` decides whether a product state is a witness;
+    the returned word is shortest because the walk is breadth-first.  Returns
+    ``(True, None)`` when no reachable pair mismatches, else ``(False,
+    word)``.
+    """
+    merged, map_a, map_b = _merged_sigma(a, b)
+    start = (a.initial, b.initial)
+    seen = {start}
+    queue = deque([((), a.initial, b.initial)])
+    while queue:
+        word, p, q = queue.popleft()
+        if cancel is not None:
+            cancel()
+        if mismatch(a.is_accepting(p), b.is_accepting(q)):
+            return False, word
+        for k, pi in enumerate(merged):
+            ka, kb = map_a[k], map_b[k]
+            dp = _DEAD if (p == _DEAD or ka == _DEAD) else a.delta[p][ka]
+            dq = _DEAD if (q == _DEAD or kb == _DEAD) else b.delta[q][kb]
+            if dp == _DEAD and dq == _DEAD:
+                continue  # joint dead sink: nothing past here can mismatch
+            if (dp, dq) not in seen:
+                seen.add((dp, dq))
+                queue.append((word + (pi,), dp, dq))
+    return True, None
+
+
+def compiled_compare(a, b, cancel=None):
+    """Decide ``L(a) == L(b)``; returns ``(equivalent, word)``.
+
+    The word, when present, is a *shortest* distinguishing word (accepted by
+    exactly one side) — the compiled analogue of
+    :func:`repro.core.automata.language_compare`, which only promises *a*
+    distinguishing word.  No state bound is needed: both automata are finite
+    and the product has at most ``|a| * |b|`` live pairs.
+    """
+    if a is b:
+        return True, None  # cached automata are shared objects; reflexivity
+    return _product_search(a, b, lambda pa, qb: pa != qb, cancel=cancel)
+
+
+def compiled_includes(a, b, cancel=None):
+    """Decide ``L(a) <= L(b)``; returns ``(included, word)``.
+
+    Containment via product emptiness: ``L(a) ⊆ L(b)`` iff no reachable
+    product pair accepts on the left while rejecting on the right.  The
+    witness, when present, is a shortest word in ``L(a) \\ L(b)``.
+    """
+    return _product_search(a, b, lambda pa, qb: pa and not qb, cancel=cancel)

@@ -14,8 +14,10 @@ To decide ``p == q``:
    the client theory's conjunction oracle (``satisfiable_conjunction``);
 4. in every remaining cell, the actions that can run on the left are the
    ``mᵢ`` whose guard evaluates to true in the cell (similarly on the right);
-   compare the two sums of restricted actions as regular languages with
-   Hopcroft–Karp over Brzozowski derivatives.
+   compare the two sums of restricted actions as regular languages — by
+   default on their *compiled* minimized automata (see "the compiled
+   comparison path" below), or with Hopcroft–Karp over Brzozowski
+   derivatives under ``use_compiled=False``.
 
 Step 2 admits two strategies, selected by the ``cell_search`` option:
 
@@ -40,19 +42,50 @@ Step 2 admits two strategies, selected by the ``cell_search`` option:
   benchmark), and is retained as the baseline for
   ``benchmarks/bench_cell_search.py``.
 
-Both strategies return identical verdicts (the randomized differential test
-in ``tests/test_decision_signatures.py`` checks this).  The signature search
-never performs more ``language_compare`` calls (``cells_explored``), but its
-solver has its own search overhead: on adversarial inputs whose signatures
-are in bijection with the cells (every guard an independent atom) it is a
-small constant factor slower than the enumerator, in exchange for the
-exponential collapse whenever guards share structure.
+**The compiled comparison path.**  Step 4 no longer walks Brzozowski
+derivatives pairwise: under either strategy, each restricted-action sum is
+*compiled once* into an explicit minimized symbolic automaton
+(:mod:`repro.core.compile` — dense int states, transition arrays in canonical
+alphabet order, accepting bitset, BFS back-pointers) and the per-cell /
+per-signature comparison is a cheap product walk over the two int-indexed
+tables (:func:`~repro.core.compile.compiled_compare`), which also yields a
+*shortest* distinguishing word.  Compiled automata are memoized per action —
+through the engine's ``aut`` LRU when a caches bundle is threaded in (so warm
+sessions reuse minimized automata across queries and signatures), or a
+checker-private memo otherwise.  ``use_compiled=False`` restores the legacy
+derivative-pairwise ``language_compare`` path; the randomized differential
+test in ``tests/test_compile_queries.py`` holds all three
+(signature+compiled, enumerate+compiled, legacy derivative) to identical
+verdicts.
+
+The same compiled IR powers two further queries: :meth:`check_inclusion`
+(``p <= q`` decided per signature by product emptiness,
+:func:`~repro.core.compile.compiled_includes`, with a shortest word in
+``L(left) \\ L(right)`` as witness) and :meth:`member_nf` (is a word of
+primitive actions a possible action sequence of the term — some summand with
+a satisfiable guard whose automaton accepts the word).
+
+Both cell strategies return identical verdicts (the randomized differential
+tests in ``tests/test_decision_signatures.py`` and
+``tests/test_compile_queries.py`` check this).  The signature search never
+performs more comparisons (``cells_explored``), but its solver has its own
+search overhead: on adversarial inputs whose signatures are in bijection
+with the cells (every guard an independent atom) it is a small constant
+factor slower than the enumerator, in exchange for the exponential collapse
+whenever guards share structure.
 """
 
 from __future__ import annotations
 
 from repro.core import terms as T
-from repro.core.automata import language_compare, language_is_empty
+from repro.core.automata import (
+    canonical,
+    derivative,
+    language_compare,
+    language_is_empty,
+    nullable,
+)
+from repro.core.compile import compile_automaton, compiled_compare, compiled_includes
 from repro.core.pushback import DEFAULT_BUDGET, Normalizer
 from repro.smt.dpll import SignatureSearchStats, enumerate_signatures
 from repro.smt.literals import evaluate
@@ -115,7 +148,50 @@ class Counterexample:
         return f"Counterexample({self.describe()})"
 
 
-class EquivalenceResult:
+class _FrozenResult:
+    """Shared machinery for immutable, cache-replayable query results.
+
+    Results are memoized in shared caches and handed to many callers
+    (potentially on different threads), so subclasses freeze every field at
+    construction (via ``object.__setattr__``) and any later mutation raises.
+    ``_FIELDS`` lists the constructor keywords; :meth:`as_cached` clones a
+    result with the ``cached`` replay flag set (the exploration counters of a
+    replay describe the run that first computed it, not fresh work — the
+    batch/server protocols surface the flag as ``"cached"``).
+    """
+
+    __slots__ = ()
+
+    #: Constructor keyword per frozen field, in declaration order.
+    _FIELDS = ()
+
+    def __setattr__(self, name, value):
+        raise AttributeError(
+            f"{type(self).__name__} is immutable (attempted to set {name!r}); "
+            "results are shared through caches across callers and threads"
+        )
+
+    def __delattr__(self, name):
+        self.__setattr__(name, None)
+
+    def as_cached(self):
+        """A copy flagged as replayed from a cache (shares the counterexample)."""
+        if self.cached:
+            return self
+        kwargs = {field: getattr(self, field) for field in self._FIELDS}
+        kwargs["cached"] = True
+        return type(self)(**kwargs)
+
+    def _describe_counters(self):
+        cached = ", cached" if self.cached else ""
+        return (
+            f"cells_explored={self.cells_explored}, "
+            f"cells_pruned={self.cells_pruned}, "
+            f"signatures_explored={self.signatures_explored}{cached}"
+        )
+
+
+class EquivalenceResult(_FrozenResult):
     """Outcome of an equivalence query.
 
     Immutable for the same reason as :class:`Counterexample`: the engine's
@@ -125,6 +201,7 @@ class EquivalenceResult:
 
     __slots__ = ("equivalent", "counterexample", "cells_explored", "cells_pruned",
                  "signatures_explored", "cached")
+    _FIELDS = __slots__
 
     def __init__(self, equivalent, counterexample=None, cells_explored=0, cells_pruned=0,
                  signatures_explored=0, cached=False):
@@ -138,44 +215,43 @@ class EquivalenceResult:
         # Distinct satisfiable guard signatures enumerated (signature search
         # only; 0 under ``cell_search="enumerate"``).
         object.__setattr__(self, "signatures_explored", signatures_explored)
-        # True when this result was replayed from an equivalence cache — the
-        # exploration counters then describe the original computation, not
-        # fresh work (the batch/server protocols surface this as "cached").
         object.__setattr__(self, "cached", cached)
-
-    def __setattr__(self, name, value):
-        raise AttributeError(
-            f"EquivalenceResult is immutable (attempted to set {name!r}); results "
-            "are shared through caches across callers and threads"
-        )
-
-    def __delattr__(self, name):
-        self.__setattr__(name, None)
-
-    def as_cached(self):
-        """A copy flagged as replayed from a cache (shares the counterexample)."""
-        if self.cached:
-            return self
-        return EquivalenceResult(
-            self.equivalent,
-            counterexample=self.counterexample,
-            cells_explored=self.cells_explored,
-            cells_pruned=self.cells_pruned,
-            signatures_explored=self.signatures_explored,
-            cached=True,
-        )
 
     def __bool__(self):
         return self.equivalent
 
     def __repr__(self):
         status = "equivalent" if self.equivalent else "inequivalent"
-        cached = ", cached" if self.cached else ""
-        return (
-            f"EquivalenceResult({status}, cells_explored={self.cells_explored}, "
-            f"cells_pruned={self.cells_pruned}, "
-            f"signatures_explored={self.signatures_explored}{cached})"
-        )
+        return f"EquivalenceResult({status}, {self._describe_counters()})"
+
+
+class InclusionResult(_FrozenResult):
+    """Outcome of an inclusion query ``p <= q``.
+
+    ``counterexample``, when present, is a :class:`Counterexample` whose
+    ``word`` lies in ``L(left) \\ L(right)`` within the listed cell: a
+    behaviour of the left term the right term does not admit.
+    """
+
+    __slots__ = ("includes", "counterexample", "cells_explored", "cells_pruned",
+                 "signatures_explored", "cached")
+    _FIELDS = __slots__
+
+    def __init__(self, includes, counterexample=None, cells_explored=0, cells_pruned=0,
+                 signatures_explored=0, cached=False):
+        object.__setattr__(self, "includes", includes)
+        object.__setattr__(self, "counterexample", counterexample)
+        object.__setattr__(self, "cells_explored", cells_explored)
+        object.__setattr__(self, "cells_pruned", cells_pruned)
+        object.__setattr__(self, "signatures_explored", signatures_explored)
+        object.__setattr__(self, "cached", cached)
+
+    def __bool__(self):
+        return self.includes
+
+    def __repr__(self):
+        status = "included" if self.includes else "not included"
+        return f"InclusionResult({status}, {self._describe_counters()})"
 
 
 class EquivalenceChecker:
@@ -195,10 +271,19 @@ class EquivalenceChecker:
     Boolean cell: ``"signature"`` (default, solver-guided guard-signature
     search) or ``"enumerate"`` (explicit cell enumeration, the paper's
     ablation baseline; ``prune_unsat_cells`` applies to this mode).
+
+    ``use_compiled`` selects how restricted-action sums are compared inside a
+    cell/signature: ``True`` (default) compiles each sum once into a
+    minimized explicit automaton and runs product walks over the int tables
+    (shortest witnesses, cross-query reuse through the ``aut`` cache);
+    ``False`` restores the legacy pairwise Brzozowski-derivative
+    ``language_compare`` path, kept as the differential/ablation baseline.
+    ``states_compiled`` counts the raw derivative states explored by this
+    checker's compilations (cache hits compile nothing).
     """
 
     def __init__(self, theory, budget=DEFAULT_BUDGET, prune_unsat_cells=True, caches=None,
-                 cell_search="signature"):
+                 cell_search="signature", use_compiled=True):
         if cell_search not in CELL_SEARCH_MODES:
             raise ValueError(
                 f"cell_search must be one of {CELL_SEARCH_MODES}, got {cell_search!r}"
@@ -208,8 +293,11 @@ class EquivalenceChecker:
         self.prune_unsat_cells = prune_unsat_cells
         self.caches = caches
         self.cell_search = cell_search
+        self.use_compiled = use_compiled
+        self.states_compiled = 0
         self._sat_memo = {}
         self._compare_memo = {}
+        self._aut_memo = {}
 
     # ------------------------------------------------------------------
     # normalization helpers
@@ -253,11 +341,13 @@ class EquivalenceChecker:
             mirrored = equiv_cache.get(self.caches.nf_pair_key(y, x), _CACHE_MISS)
             if mirrored is not _CACHE_MISS and mirrored.equivalent:
                 return mirrored.as_cached()
+        comparer = self._comparer("equiv", cancel)
         if self.cell_search == "enumerate":
             atoms = _collect_atoms(x, y)
             search = _CellSearch(
                 self.theory, atoms, x, y, self.prune_unsat_cells,
                 sat_memo=self._conjunction_memo(),
+                compare=comparer,
                 cancel=cancel,
             )
             counterexample = search.run()
@@ -271,21 +361,178 @@ class EquivalenceChecker:
             search = _SignatureSearch(
                 self.theory, x, y,
                 sat_memo=self._conjunction_memo(),
-                compare_memo=self._signature_memo(),
-                compare_key=self._signature_key(),
+                compare=comparer,
                 cancel=cancel,
             )
             counterexample = search.run()
             result = EquivalenceResult(
                 equivalent=counterexample is None,
                 counterexample=counterexample,
-                cells_explored=search.comparisons,
+                cells_explored=comparer.comparisons,
                 cells_pruned=search.stats.theory_pruned,
                 signatures_explored=search.signatures_explored,
             )
         if equiv_cache is not None:
             equiv_cache.put(key, result)
         return result
+
+    # ------------------------------------------------------------------
+    # inclusion
+    # ------------------------------------------------------------------
+    def includes(self, p, q):
+        """True iff ``p <= q`` (every behaviour of ``p`` is one of ``q``)."""
+        return self.check_inclusion(p, q).includes
+
+    def check_inclusion(self, p, q):
+        """Like :meth:`includes` but returns a full :class:`InclusionResult`."""
+        return self.check_inclusion_nf(self.normalize(p), self.normalize(q))
+
+    def check_inclusion_nf(self, x, y, cancel=None):
+        """Decide per-cell language containment of two normal forms.
+
+        ``p <= q`` in the natural order iff in every satisfiable cell the
+        restricted actions enabled on the left denote a sublanguage of those
+        enabled on the right (``p + q == q`` holds exactly then), so the same
+        cell/signature search as equivalence applies, with
+        :func:`~repro.core.compile.compiled_includes` (product emptiness) as
+        the per-cell comparison.  Unlike :meth:`less_or_equal` this needs no
+        re-normalization of ``p + q``, and a failure carries a shortest
+        witness word in ``L(left) \\ L(right)``.
+        """
+        equiv_cache = self.caches.equiv if self.caches is not None else None
+        key = None
+        if equiv_cache is not None:
+            # Inclusion verdicts share the equivalence LRU under a tagged key
+            # (it memoizes the same kind of object: a per-NF-pair verdict).
+            key = ("incl", self.caches.nf_pair_key(x, y))
+            cached = equiv_cache.get(key, _CACHE_MISS)
+            if cached is not _CACHE_MISS:
+                return cached.as_cached()
+        comparer = self._comparer("incl", cancel)
+        if self.cell_search == "enumerate":
+            atoms = _collect_atoms(x, y)
+            search = _CellSearch(
+                self.theory, atoms, x, y, self.prune_unsat_cells,
+                sat_memo=self._conjunction_memo(),
+                compare=comparer,
+                cancel=cancel,
+            )
+            counterexample = search.run()
+            result = InclusionResult(
+                includes=counterexample is None,
+                counterexample=counterexample,
+                cells_explored=search.cells_explored,
+                cells_pruned=search.cells_pruned,
+            )
+        else:
+            search = _SignatureSearch(
+                self.theory, x, y,
+                sat_memo=self._conjunction_memo(),
+                compare=comparer,
+                cancel=cancel,
+            )
+            counterexample = search.run()
+            result = InclusionResult(
+                includes=counterexample is None,
+                counterexample=counterexample,
+                cells_explored=comparer.comparisons,
+                cells_pruned=search.stats.theory_pruned,
+                signatures_explored=search.signatures_explored,
+            )
+        if equiv_cache is not None:
+            equiv_cache.put(key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # word membership
+    # ------------------------------------------------------------------
+    def member_nf(self, x, word, cancel=None):
+        """Is ``word`` (a sequence of primitive actions) a possible action
+        sequence of the normalized term ``x``?
+
+        True iff some summand ``(test, action)`` has a satisfiable guard and
+        a compiled automaton accepting the word — i.e. some state enables a
+        trace whose action labels spell exactly ``word``.  Runs in
+        O(|word|) table lookups per summand once the automata are cached.
+        """
+        word = tuple(word)
+        for test, action in x.sorted_pairs():
+            if not self._satisfiable_pred(test):
+                continue
+            if self.use_compiled:
+                if self._compile_cached(action, cancel).accepts(word):
+                    return True
+            elif _derivative_accepts(action, word):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # compiled-automaton plumbing
+    # ------------------------------------------------------------------
+    def _compile_cached(self, action, cancel=None):
+        """The compiled (minimized) automaton of a restricted action.
+
+        Memoized through the engine's ``aut`` LRU when a caches bundle is
+        present (keyed by the action's stable fingerprint, so warm sessions
+        reuse automata across queries), else a checker-private memo keyed by
+        the hash-consed action itself.
+        """
+        caches = self.caches
+        memo = self._aut_memo
+        key = action
+        if caches is not None:
+            aut = getattr(caches, "aut", None)
+            if aut is not None:
+                memo = aut
+                key = caches.term_key(action)
+        cached = _memo_get(memo, key)
+        if cached is not _CACHE_MISS:
+            return cached
+        automaton = compile_automaton(action, cancel=cancel)
+        self.states_compiled += automaton.raw_states
+        _memo_put(memo, key, automaton)
+        return automaton
+
+    def _comparer(self, kind, cancel):
+        """A memoized per-action-pair comparison for one query kind.
+
+        ``"equiv"`` compares languages for equality (symmetric: a positive
+        verdict for the mirrored pair is reused); ``"incl"`` for containment
+        (asymmetric).  Verdicts are memoized in the shared ``sig`` LRU when a
+        caches bundle is threaded in — inclusion verdicts under a tagged key
+        so the two kinds never collide.
+        """
+        memo = self._signature_memo()
+        base_key = self._signature_key()
+        if kind == "incl":
+            if self.use_compiled:
+                def run(left, right):
+                    return compiled_includes(
+                        self._compile_cached(left, cancel),
+                        self._compile_cached(right, cancel),
+                        cancel=cancel,
+                    )
+            else:
+                def run(left, right):
+                    # L(l) <= L(r) iff L(l + r) == L(r); a distinguishing
+                    # word lies in the union but not in L(r), i.e. exactly
+                    # in L(l) \ L(r) — the same witness shape the compiled
+                    # containment produces.
+                    return language_compare(T.tplus(left, right), right, cancel=cancel)
+            return _MemoizedComparison(
+                run, memo, lambda l, r: ("incl", base_key(l, r)), symmetric=False
+            )
+        if self.use_compiled:
+            def run(left, right):
+                return compiled_compare(
+                    self._compile_cached(left, cancel),
+                    self._compile_cached(right, cancel),
+                    cancel=cancel,
+                )
+        else:
+            def run(left, right):
+                return language_compare(left, right, cancel=cancel)
+        return _MemoizedComparison(run, memo, base_key, symmetric=True)
 
     def _conjunction_memo(self):
         if self.caches is not None:
@@ -324,12 +571,22 @@ class EquivalenceChecker:
         """
         return self.is_empty_nf(self.normalize(p))
 
-    def is_empty_nf(self, x):
-        """Emptiness of an already-normalized term (see :meth:`is_empty`)."""
+    def is_empty_nf(self, x, cancel=None):
+        """Emptiness of an already-normalized term (see :meth:`is_empty`).
+
+        Under the compiled path an action's emptiness is a field read on its
+        cached automaton (no accepting bit set); ``use_compiled=False`` keeps
+        the legacy derivative reachability search.  ``cancel`` cooperatively
+        aborts compilation (a deadline must be able to interrupt the
+        derivative BFS on a large action, same as on the equivalence path).
+        """
         for test, action in x.pairs:
             if not self._satisfiable_pred(test):
                 continue
-            if language_is_empty(action):
+            if self.use_compiled:
+                if self._compile_cached(action, cancel).is_empty():
+                    continue
+            elif language_is_empty(action):
                 continue
             return False
         return True
@@ -379,6 +636,14 @@ def _collect_atoms(x, y):
     return [p.alpha for p in wrapped]
 
 
+def _derivative_accepts(action, word):
+    """Legacy word membership: walk the derivatives (``use_compiled=False``)."""
+    state = canonical(action)
+    for pi in word:
+        state = derivative(state, pi)
+    return nullable(state)
+
+
 def _memo_get(memo, key):
     """Lookup in a plain dict or any ``get``/``put`` mapping (``_CACHE_MISS`` on miss)."""
     return memo.get(key, _CACHE_MISS)
@@ -417,15 +682,61 @@ def _memoized_conjunction_oracle(theory, memo):
     return satisfiable
 
 
+class _MemoizedComparison:
+    """A per-restricted-action-pair language comparison with a verdict memo.
+
+    ``run(left, right)`` produces the raw ``(ok, word)`` verdict (compiled
+    product walk, legacy ``language_compare``, or compiled containment);
+    verdicts are memoized under ``key_fn(left, right)`` — the engine layer
+    passes a bounded LRU shared across queries here, so warm sessions skip
+    repeated comparisons entirely.  ``symmetric=True`` additionally reuses a
+    *positive* verdict for the mirrored pair (sound for equivalence: a
+    witness word would need its sides swapped, so negative verdicts are only
+    reused in the queried orientation; containment is not symmetric at all).
+    ``comparisons`` counts actual ``run`` invocations (memo misses).
+    """
+
+    __slots__ = ("run", "memo", "key_fn", "symmetric", "comparisons")
+
+    def __init__(self, run, memo, key_fn, symmetric):
+        self.run = run
+        self.memo = memo
+        self.key_fn = key_fn
+        self.symmetric = symmetric
+        self.comparisons = 0
+
+    def __call__(self, left, right):
+        if left == right:
+            # Identical (hash-consed) sums — the most common case for
+            # equivalent terms, where a signature enables the same summands
+            # on both sides.  Reflexivity answers both query kinds without
+            # compiling anything.
+            return (True, None)
+        key = self.key_fn(left, right)
+        cached = _memo_get(self.memo, key)
+        if cached is not _CACHE_MISS:
+            return cached
+        if self.symmetric:
+            mirrored = _memo_get(self.memo, self.key_fn(right, left))
+            if mirrored is not _CACHE_MISS and mirrored[0]:
+                return mirrored
+        self.comparisons += 1
+        verdict = self.run(left, right)
+        _memo_put(self.memo, key, verdict)
+        return verdict
+
+
 class _CellSearch:
     """Recursive enumeration of primitive-test cells with consistency pruning.
 
     The ablation baseline behind ``cell_search="enumerate"``: one language
-    comparison per satisfiable total assignment of the primitive tests.  See
+    comparison per satisfiable total assignment of the primitive tests
+    (``compare`` is a :class:`_MemoizedComparison`, so repeated action pairs
+    are still served from the verdict memo).  See
     :func:`_memoized_conjunction_oracle` for the ``sat_memo`` protocol.
     """
 
-    def __init__(self, theory, atoms, x, y, prune, sat_memo=None, cancel=None):
+    def __init__(self, theory, atoms, x, y, prune, sat_memo=None, compare=None, cancel=None):
         self.theory = theory
         self.atoms = atoms
         self.x = x
@@ -433,6 +744,9 @@ class _CellSearch:
         self.prune = prune
         self._satisfiable = _memoized_conjunction_oracle(
             theory, {} if sat_memo is None else sat_memo
+        )
+        self.compare = compare if compare is not None else (
+            lambda left, right: language_compare(left, right, cancel=cancel)
         )
         self.cancel = cancel
         self.cells_explored = 0
@@ -474,8 +788,8 @@ class _CellSearch:
             for test, action in self.y.sorted_pairs()
             if evaluate(test, assignment)
         )
-        equivalent, word = language_compare(left, right, cancel=self.cancel)
-        if equivalent:
+        ok, word = self.compare(left, right)
+        if ok:
             return None
         return Counterexample(literals, left, right, word)
 
@@ -492,18 +806,16 @@ class _SignatureSearch:
     engine for their theory-realizable truth valuations
     (:func:`repro.smt.dpll.enumerate_signatures`).  Every cell with the same
     signature enables the same summands on each side, so one language
-    comparison per signature decides all of its cells at once; comparisons
-    are additionally memoized on the restricted-action pair (``compare_memo``
-    — the engine layer passes a bounded LRU shared across queries, so warm
-    sessions skip repeated signatures entirely).
+    comparison per signature decides all of its cells at once; ``compare`` is
+    a :class:`_MemoizedComparison` (the engine layer threads a bounded LRU
+    through it, so warm sessions skip repeated signatures entirely).
 
     A counterexample's cell is the (possibly partial, theory-satisfiable)
     witness assignment returned by the enumerator; primitive tests no guard
     depends on are genuinely irrelevant to the verdict and stay undecided.
     """
 
-    def __init__(self, theory, x, y, sat_memo=None, compare_memo=None, compare_key=None,
-                 cancel=None):
+    def __init__(self, theory, x, y, sat_memo=None, compare=None, cancel=None):
         self.theory = theory
         self.left_pairs = x.sorted_pairs()
         self.right_pairs = y.sorted_pairs()
@@ -511,9 +823,8 @@ class _SignatureSearch:
             theory, {} if sat_memo is None else sat_memo
         )
         self.cancel = cancel
-        self.compare_memo = {} if compare_memo is None else compare_memo
-        self.compare_key = compare_key if compare_key is not None else (
-            lambda left, right: (left, right)
+        self.compare = compare if compare is not None else (
+            lambda left, right: language_compare(left, right, cancel=cancel)
         )
         guards = []
         guard_slot = {}
@@ -531,18 +842,22 @@ class _SignatureSearch:
         self.guards = guards
         self.stats = SignatureSearchStats()
         self.signatures_explored = 0
-        self.comparisons = 0
 
     def run(self):
         for signature, witness in enumerate_signatures(
             self.guards, self.theory, satisfiable=self._satisfiable, stats=self.stats,
             cancel=self.cancel,
         ):
+            if self.cancel is not None:
+                # One checkpoint per signature, after the enumerator's (oracle
+                # -heavy) work for it: the comparison below may be answered
+                # from a memo or by reflexivity without ever checking cancel.
+                self.cancel()
             self.signatures_explored += 1
             left = self._enabled_sum(self.left_pairs, self.left_slots, signature)
             right = self._enabled_sum(self.right_pairs, self.right_slots, signature)
-            equivalent, word = self._compare(left, right)
-            if not equivalent:
+            ok, word = self.compare(left, right)
+            if not ok:
                 return Counterexample(witness, left, right, word)
         return None
 
@@ -553,20 +868,3 @@ class _SignatureSearch:
             for slot, (_, action) in zip(slots, pairs)
             if slot is None or signature[slot]
         )
-
-    def _compare(self, left, right):
-        memo = self.compare_memo
-        key = self.compare_key(left, right)
-        cached = _memo_get(memo, key)
-        if cached is not _CACHE_MISS:
-            return cached
-        # Language equivalence is symmetric; a positive verdict for the
-        # mirrored pair carries over (a witness word would not, so negative
-        # verdicts are only reused in the queried orientation).
-        mirrored = _memo_get(memo, self.compare_key(right, left))
-        if mirrored is not _CACHE_MISS and mirrored[0]:
-            return mirrored
-        self.comparisons += 1
-        verdict = language_compare(left, right, cancel=self.cancel)
-        _memo_put(memo, key, verdict)
-        return verdict

@@ -26,13 +26,13 @@ class KMT:
     """A Kleene algebra modulo the given client theory."""
 
     def __init__(self, theory, budget=DEFAULT_BUDGET, prune_unsat_cells=True, caches=None,
-                 cell_search="signature"):
+                 cell_search="signature", use_compiled=True):
         self.theory = theory
         self.budget = budget
         self.caches = caches
         self.checker = EquivalenceChecker(
             theory, budget=budget, prune_unsat_cells=prune_unsat_cells, caches=caches,
-            cell_search=cell_search,
+            cell_search=cell_search, use_compiled=use_compiled,
         )
         theory.attach(self)
 
@@ -86,6 +86,28 @@ class KMT:
         """Decide ``p <= q`` (i.e. ``p + q == q``)."""
         p, q = self._coerce_term(p), self._coerce_term(q)
         return self.checker.less_or_equal(p, q)
+
+    def includes(self, p, q):
+        """Decide ``p <= q`` by per-cell compiled-automaton containment."""
+        return self.check_inclusion(p, q).includes
+
+    def check_inclusion(self, p, q):
+        """Like :meth:`includes` but returns the detailed
+        :class:`~repro.core.decision.InclusionResult` (witness word etc.)."""
+        p, q = self._coerce_term(p), self._coerce_term(q)
+        return self.checker.check_inclusion(p, q)
+
+    def member(self, term, word):
+        """Is ``word`` a possible action sequence of ``term``?
+
+        ``word`` is a sequence of primitive actions — raw theory actions,
+        ``TPrim`` terms, or source strings (a string element may spell several
+        actions separated by ``;``, e.g. ``"inc(x); inc(y)"``); a single
+        string is accepted as a one-element word.  Decided on the compiled
+        automata of the term's normal form (:meth:`EquivalenceChecker.member_nf`).
+        """
+        term = self._coerce_term(term)
+        return self.checker.member_nf(self.checker.normalize(term), self._coerce_word(word))
 
     def is_empty(self, p):
         """Decide whether ``p`` denotes no traces (``p == 0``)."""
@@ -165,3 +187,36 @@ class KMT:
         if isinstance(p, terms.Term):
             return p
         raise TypeError(f"expected a Term, Pred or source string, got {p!r}")
+
+    def _coerce_word(self, word):
+        """Normalize a word argument into a tuple of theory primitive actions.
+
+        See :meth:`member` for the accepted element forms.  Raises
+        ``KmtError`` when an element is not (a sequence of) primitive
+        actions — tests, sums and stars have no place in a word.
+        """
+        if isinstance(word, str):
+            word = [word]
+        pis = []
+        for element in word:
+            if isinstance(element, str):
+                element = self.parse(element)
+            if isinstance(element, terms.Term):
+                self._flatten_word_term(element, pis)
+            else:
+                pis.append(element)  # a raw theory primitive action
+        return tuple(pis)
+
+    def _flatten_word_term(self, term, out):
+        if isinstance(term, terms.TPrim):
+            out.append(term.pi)
+        elif isinstance(term, terms.TSeq):
+            self._flatten_word_term(term.left, out)
+            self._flatten_word_term(term.right, out)
+        elif isinstance(term, terms.TTest) and isinstance(term.pred, terms.POne):
+            pass  # "1" spells the empty word
+        else:
+            raise KmtError(
+                f"word elements must be primitive actions (got {term!r}); "
+                "tests, sums and stars cannot appear in a word"
+            )

@@ -7,6 +7,8 @@ One request per line, one JSON response per line, order preserved::
     {"op": "sat",   "pred": "x > 3; ~(x > 5)"}
     {"op": "empty", "term": "x > 3; ~(x > 3)"}
     {"op": "leq",   "left": "inc(x)", "right": "inc(x) + inc(y)"}
+    {"op": "inclusion", "left": "inc(x)", "right": "inc(x) + inc(y)"}
+    {"op": "member", "term": "(inc(x))*; x > 1", "word": ["inc(x)", "inc(x)"]}
 
 Responses echo ``op``/``theory`` plus the request's ``id`` (defaulting to the
 0-based line number) and carry either ``"ok": true`` with a ``result`` object
@@ -44,7 +46,7 @@ from repro.theories import build_theory
 from repro.utils.errors import KmtError, ParseError, QueryCancelled, WireProtocolError
 
 #: Ops that dispatch to a theory session.
-QUERY_OPS = ("equiv", "leq", "norm", "sat", "empty")
+QUERY_OPS = ("equiv", "leq", "inclusion", "member", "norm", "sat", "empty")
 #: Control ops understood by the serve loop (and harmlessly by batches).
 CONTROL_OPS = ("stats", "ping")
 
@@ -128,6 +130,8 @@ WIRE_VERSION = 1
 _WIRE_FIELDS = {
     "equiv": ("left", "right"),
     "leq": ("left", "right"),
+    "inclusion": ("left", "right"),
+    "member": ("term", "word"),
     "norm": ("term",),
     "sat": ("pred",),
     "empty": ("term",),
@@ -365,6 +369,24 @@ def execute_query(session, record, cancel=None):
         return payload
     if op == "leq":
         return {"leq": session.less_or_equal(record["left"], record["right"], cancel=cancel)}
+    if op == "inclusion":
+        result = session.check_inclusion(record["left"], record["right"], cancel=cancel)
+        payload = {
+            "includes": result.includes,
+            "cells_explored": result.cells_explored,
+            "cells_pruned": result.cells_pruned,
+            "signatures_explored": result.signatures_explored,
+        }
+        if result.cached:
+            payload["cached"] = True
+        if result.counterexample is not None:
+            payload["counterexample"] = result.counterexample.describe()
+            # The machine-readable form of the witness: a shortest word in
+            # L(left) \ L(right), one primitive action per element.
+            payload["witness_word"] = [str(pi) for pi in result.counterexample.word or ()]
+        return payload
+    if op == "member":
+        return {"member": session.member(record["term"], record["word"], cancel=cancel)}
     if op == "norm":
         nf = session.normalize(record["term"], cancel=cancel)
         return {"normal_form": pretty_normal_form(nf), "summands": len(nf)}

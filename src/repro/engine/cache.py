@@ -149,6 +149,7 @@ class EngineCaches:
     ``sat_pred``      predicate fingerprint → bool
     ``equiv``         pair of normal-form fingerprint keys → result
     ``sig``           pair of restricted-action fingerprints → ``(bool, word)``
+    ``aut``           restricted-action fingerprint → ``CompiledAutomaton``
     ``deriv``         ``(action, pi)`` → derivative (shared, process-wide)
     ================  =====================================================
     """
@@ -160,6 +161,7 @@ class EngineCaches:
         sat_pred_size=4096,
         equiv_size=8192,
         sig_size=8192,
+        aut_size=4096,
         deriv=None,
     ):
         self.norm = LRUCache(norm_size, name="norm")
@@ -167,6 +169,7 @@ class EngineCaches:
         self.sat_pred = LRUCache(sat_pred_size, name="sat_pred")
         self.equiv = LRUCache(equiv_size, name="equiv")
         self.sig = LRUCache(sig_size, name="sig")
+        self.aut = LRUCache(aut_size, name="aut")
         self.deriv = DERIVATIVE_CACHE if deriv is None else deriv
 
     # -- key builders (duck-typed interface used by repro.core.decision) ----
@@ -185,11 +188,12 @@ class EngineCaches:
 
     # -- accounting ---------------------------------------------------------
     def all_caches(self):
-        return (self.norm, self.sat_conj, self.sat_pred, self.equiv, self.sig, self.deriv)
+        return (self.norm, self.sat_conj, self.sat_pred, self.equiv, self.sig,
+                self.aut, self.deriv)
 
     def private_caches(self):
         """The tables owned by this bundle (excludes a shared derivative memo)."""
-        out = [self.norm, self.sat_conj, self.sat_pred, self.equiv, self.sig]
+        out = [self.norm, self.sat_conj, self.sat_pred, self.equiv, self.sig, self.aut]
         if self.deriv is not DERIVATIVE_CACHE:
             out.append(self.deriv)
         return tuple(out)

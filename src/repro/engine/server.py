@@ -109,8 +109,9 @@ from repro.utils.errors import DeadlineExceeded, KmtError, WireProtocolError, Wo
 _STOP = object()
 
 #: Shard-affinity fields: the request content that determines which stripe
-#: (and therefore which warm session) a query lands on.
-_AFFINITY_FIELDS = ("op", "left", "right", "term", "pred")
+#: (and therefore which warm session) a query lands on.  ``word`` is a
+#: ``member`` request's action word (a JSON list; ``str`` of it is stable).
+_AFFINITY_FIELDS = ("op", "left", "right", "term", "pred", "word")
 
 #: How many recent request latencies back the percentile report.
 _LATENCY_WINDOW = 4096
@@ -207,6 +208,9 @@ class ShardedSessionPool:
             out[name] = {
                 "stripes": len(blocks),
                 "queries": sum(block["session"]["queries"] for block in blocks),
+                "states_compiled": sum(
+                    block["session"].get("states_compiled", 0) for block in blocks
+                ),
                 "tables": tables,
                 "totals": {
                     "hits": sum(block["totals"]["hits"] for block in blocks),
@@ -293,11 +297,12 @@ def merge_pool_stats(blocks):
                 continue
             agg = out.setdefault(
                 name,
-                {"stripes": 0, "queries": 0, "tables": {},
+                {"stripes": 0, "queries": 0, "states_compiled": 0, "tables": {},
                  "totals": {"hits": 0, "misses": 0}},
             )
             agg["stripes"] += theory_block.get("stripes", 0)
             agg["queries"] += theory_block.get("queries", 0)
+            agg["states_compiled"] += theory_block.get("states_compiled", 0)
             _merge_cache_tables(agg["tables"], theory_block.get("tables", {}))
             for counter in ("hits", "misses"):
                 agg["totals"][counter] += theory_block.get("totals", {}).get(counter, 0)

@@ -132,9 +132,40 @@ class EngineSession:
         p, q = self._coerce_term(p), self._coerce_term(q)
         return self.check_equivalent(T.tplus(p, q), q, cancel=cancel).equivalent
 
+    def check_inclusion(self, p, q, cancel=None):
+        """Decide ``p <= q`` by per-cell compiled-automaton containment.
+
+        Unlike :meth:`less_or_equal` this never normalizes ``p + q`` — both
+        operand normal forms come from (and land in) the session's norm
+        cache, the per-signature containments go through the shared ``sig``
+        verdict memo, and the compiled automata through the ``aut`` LRU, so a
+        warm session answers inclusion queries over known sums without
+        re-deriving anything.
+        """
+        self.queries += 1
+        x = self._normalize_cached(p, cancel=cancel)
+        y = self._normalize_cached(q, cancel=cancel)
+        return self.kmt.checker.check_inclusion_nf(x, y, cancel=cancel)
+
+    def includes(self, p, q):
+        return self.check_inclusion(p, q).includes
+
+    def member(self, term, word, cancel=None):
+        """Word membership: is ``word`` a possible action sequence of ``term``?
+
+        ``word`` follows :meth:`repro.core.kmt.KMT.member`'s element forms
+        (raw primitive actions, ``TPrim`` terms, or source strings).  Decided
+        on the cached compiled automata of the term's normal form.
+        """
+        self.queries += 1
+        pis = self.kmt._coerce_word(word)
+        nf = self._normalize_cached(term, cancel=cancel)
+        return self.kmt.checker.member_nf(nf, pis, cancel=cancel)
+
     def is_empty(self, p, cancel=None):
         self.queries += 1
-        return self.kmt.checker.is_empty_nf(self._normalize_cached(p, cancel=cancel))
+        return self.kmt.checker.is_empty_nf(self._normalize_cached(p, cancel=cancel),
+                                            cancel=cancel)
 
     def satisfiable(self, pred):
         """Satisfiability of a predicate, memoized by fingerprint."""
@@ -162,6 +193,9 @@ class EngineSession:
             "theory": self.theory.describe(),
             "queries": self.queries,
             "normalization_steps": self._cumulative_steps,
+            # Raw derivative states explored by automaton compilation; aut
+            # cache hits compile nothing, so a warm session's counter stalls.
+            "states_compiled": self.kmt.checker.states_compiled,
             "pb_star_memo": len(self._normalizer._pb_star_cache),
             "pb_prim_memo": len(self._normalizer._pb_prim_cache),
         }

@@ -44,6 +44,31 @@ class SolverError(KmtError):
     """A satisfiability query could not be answered by the available solvers."""
 
 
+class CounterexampleBoundExceeded(KmtError):
+    """A bounded counterexample search ran out of budget without a verdict.
+
+    Raised by :func:`repro.core.automata.counterexample_word` when the
+    breadth-first product search had to truncate at ``max_length`` before
+    finding a distinguishing word: at that point "no word found" means
+    *unknown*, not "the languages are equivalent", and silently returning
+    ``None`` (the equivalence answer) would conflate the two.  The unbounded
+    compiled product walk (:func:`repro.core.compile.compiled_compare`) never
+    raises this — derivative automata are finite, so it always reaches a
+    verdict.
+    """
+
+    def __init__(self, max_length, message=None):
+        self.max_length = max_length
+        super().__init__(
+            message
+            or (
+                f"counterexample search truncated at word length {max_length} "
+                "without a verdict (raise max_length, or use the compiled "
+                "product walk which needs no bound)"
+            )
+        )
+
+
 class WireProtocolError(KmtError):
     """A compact wire-form request/response failed to encode or decode.
 

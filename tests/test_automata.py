@@ -1,8 +1,10 @@
 """Tests for Brzozowski derivatives and Hopcroft–Karp equivalence (Section 4.1)."""
 
+import pytest
 from hypothesis import given, settings
 
 from repro.core import terms as T
+from repro.utils.errors import CounterexampleBoundExceeded
 from repro.core.automata import (
     alphabet,
     canonical,
@@ -122,6 +124,24 @@ class TestLanguageQueries:
         word = counterexample_word(T.tstar(A), T.tseq(A, T.tstar(A)))
         assert word == ()  # epsilon distinguishes a* from a;a*
         assert counterexample_word(T.tstar(A), T.tstar(A)) is None
+
+    def test_counterexample_word_bound_hit_raises(self):
+        """Regression: a truncated search must not report "equivalent".
+
+        ``a;a;a`` vs ``a;a;a;a`` differ only at words of length 3/4; with
+        ``max_length=2`` the search cannot reach the difference, and the old
+        code returned ``None`` — indistinguishable from a proved equivalence.
+        """
+        m = T.tseq(A, T.tseq(A, A))
+        n = T.tseq(A, T.tseq(A, T.tseq(A, A)))
+        with pytest.raises(CounterexampleBoundExceeded) as excinfo:
+            counterexample_word(m, n, max_length=2)
+        assert excinfo.value.max_length == 2
+        # With room to run, the same pair yields the genuine shortest witness.
+        assert counterexample_word(m, n, max_length=8) == (PI_A, PI_A, PI_A)
+        # An equivalence decided within the bound still returns None (the
+        # product space is exhausted before any truncation happens).
+        assert counterexample_word(T.tstar(A), T.tstar(A), max_length=1) is None
 
     def test_accepts_word(self):
         term = T.tseq(A, T.tstar(B))

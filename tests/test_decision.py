@@ -47,11 +47,22 @@ class TestBasicVerdicts:
 
 class TestResultObject:
     def test_result_reports_cells(self, kmt_bitvec):
-        result = kmt_bitvec.check_equivalent("a = T + ~(a = T)", "true")
+        # The sides' restricted-action sums must differ syntactically, or the
+        # reflexivity fast path answers without a language comparison and
+        # cells_explored stays 0 (see test_identical_sums_need_no_comparison).
+        result = kmt_bitvec.check_equivalent("(b := T)*", "(b := T)*; (b := T)*")
         assert result.equivalent
         assert result.cells_explored >= 1
         assert result.signatures_explored >= 1
         assert "equivalent" in repr(result)
+
+    def test_identical_sums_need_no_comparison(self, kmt_bitvec):
+        """Both sides enable the identical sum in every signature: decided by
+        reflexivity, no language comparison performed."""
+        result = kmt_bitvec.check_equivalent("a = T + ~(a = T)", "true")
+        assert result.equivalent
+        assert result.cells_explored == 0
+        assert result.signatures_explored >= 1
 
     def test_enumerate_mode_reports_no_signatures(self, bitvec):
         kmt = KMT(bitvec, cell_search="enumerate")

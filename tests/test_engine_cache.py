@@ -68,11 +68,13 @@ class TestHitAccounting:
         caches.norm.get("k")
         stats = caches.stats()
         assert stats["tables"]["norm"]["hits"] == 1
-        assert set(stats["tables"]) == {"norm", "sat_conj", "sat_pred", "equiv", "sig", "deriv"}
+        assert set(stats["tables"]) == {
+            "norm", "sat_conj", "sat_pred", "equiv", "sig", "aut", "deriv"
+        }
         assert stats["totals"]["hits"] >= 1
         # include_shared=False leaves the process-wide derivative table out.
         private = caches.stats(include_shared=False)
-        assert set(private["tables"]) == {"norm", "sat_conj", "sat_pred", "equiv", "sig"}
+        assert set(private["tables"]) == {"norm", "sat_conj", "sat_pred", "equiv", "sig", "aut"}
 
 
 class TestThreadSafety:

@@ -438,7 +438,8 @@ class TestCrashRecovery:
 _ALL_OPS = QUERY_OPS + CONTROL_OPS + ("quit",)
 
 _REQUIRED_FIELDS = {
-    "equiv": ("left", "right"), "leq": ("left", "right"), "norm": ("term",),
+    "equiv": ("left", "right"), "leq": ("left", "right"),
+    "inclusion": ("left", "right"), "member": ("term", "word"), "norm": ("term",),
     "sat": ("pred",), "empty": ("term",), "stats": (), "ping": (), "quit": (),
 }
 
@@ -450,7 +451,8 @@ _json_values = st.recursive(
     max_leaves=6,
 )
 
-_RESERVED_REQUEST = {"op", "left", "right", "term", "pred", "id", "theory", "deadline_ms"}
+_RESERVED_REQUEST = {"op", "left", "right", "term", "pred", "word", "id", "theory",
+                     "deadline_ms"}
 _RESERVED_RESPONSE = {"id", "ok", "op", "theory", "result", "error", "error_code"}
 
 
