@@ -122,14 +122,30 @@ def cmd_run(args):
     return 0
 
 
+def _configure_observability(args):
+    """Point the ``kmt.*`` JSON-lines log at stderr or ``--log-file``.
+
+    Logging stays silent unless one of the observability flags is given;
+    ``--slow-query-ms`` alone implies logging (its events must land
+    somewhere), at the default ``info`` level on stderr.
+    """
+    if args.log_level is None and args.log_file is None \
+            and getattr(args, "slow_query_ms", None) is None:
+        return
+    from repro.engine.telemetry import configure_logging
+
+    configure_logging(args.log_level or "info", args.log_file)
+
+
 def cmd_batch(args):
     import contextlib
     import json
 
     from repro.engine.batch import BatchRunner
 
+    _configure_observability(args)
     runner = BatchRunner(default_theory=args.theory, budget=args.budget, jobs=args.jobs,
-                         cell_search=args.cell_search)
+                         cell_search=args.cell_search, slow_query_ms=args.slow_query_ms)
     # The input is streamed into the runner one line at a time instead of
     # readlines() — no duplicate raw-text buffer for `kmt batch -` on a large
     # pipe.  (Parsed requests and responses are still materialized: the batch
@@ -158,10 +174,10 @@ def cmd_batch(args):
     return 0 if failures == 0 else 1
 
 
-def _parse_host_port(text):
+def _parse_host_port(text, flag="--socket"):
     host, _, port = text.rpartition(":")
     if not host or not port.isdigit():
-        raise KmtError(f"--socket expects HOST:PORT, got {text!r}")
+        raise KmtError(f"{flag} expects HOST:PORT, got {text!r}")
     return host, int(port)
 
 
@@ -169,11 +185,16 @@ def cmd_serve(args):
     import signal
     import threading
 
+    _configure_observability(args)
     if args.legacy:
+        if args.metrics:
+            print("error: --metrics requires the concurrent server (drop --legacy)",
+                  file=sys.stderr)
+            return 2
         from repro.engine.batch import serve
 
         served = serve(sys.stdin, sys.stdout, default_theory=args.theory, budget=args.budget,
-                       cell_search=args.cell_search)
+                       cell_search=args.cell_search, slow_query_ms=args.slow_query_ms)
         print(f"# served {served} requests", file=sys.stderr)
         return 0
 
@@ -182,8 +203,19 @@ def cmd_serve(args):
     server = QueryServer(
         workers=args.workers, stripes=args.stripes, queue_limit=args.queue_limit,
         default_theory=args.theory, budget=args.budget, cell_search=args.cell_search,
-        backend=args.backend,
+        backend=args.backend, slow_query_ms=args.slow_query_ms,
     )
+
+    exporter = None
+    if args.metrics:
+        from repro.engine.telemetry import MetricsExporter
+
+        metrics_host, metrics_port = _parse_host_port(args.metrics, flag="--metrics")
+        exporter = MetricsExporter(server.metrics_prometheus,
+                                   host=metrics_host, port=metrics_port)
+        exporter.start()
+        print(f"# metrics on http://{exporter.host}:{exporter.port}/metrics",
+              file=sys.stderr)
 
     class _Terminated(Exception):
         pass
@@ -209,6 +241,8 @@ def cmd_serve(args):
             pass
         finally:
             socket_server.close(drain=True)
+            if exporter is not None:
+                exporter.close()
             print("# drained and stopped", file=sys.stderr)
         return 0
 
@@ -218,6 +252,8 @@ def cmd_serve(args):
         served = None
     finally:
         server.shutdown(drain=True)
+        if exporter is not None:
+            exporter.close()
     if served is not None:
         print(f"# served {served} requests", file=sys.stderr)
     else:
@@ -312,6 +348,7 @@ def make_arg_parser():
     batch.add_argument(
         "--stats", action="store_true", help="dump cache hit/miss stats to stderr"
     )
+    _add_observability_flags(batch)
     batch.set_defaults(func=cmd_batch)
 
     serve = sub.add_parser(
@@ -354,8 +391,34 @@ def make_arg_parser():
         "--legacy", action="store_true",
         help="use the blocking single-threaded serve loop instead of the concurrent server",
     )
+    serve.add_argument(
+        "--metrics", metavar="HOST:PORT", default=None,
+        help=(
+            "expose a Prometheus text endpoint at http://HOST:PORT/metrics "
+            "(port 0 = ephemeral; concurrent server only)"
+        ),
+    )
+    _add_observability_flags(serve)
     serve.set_defaults(func=cmd_serve)
     return parser
+
+
+def _add_observability_flags(sub):
+    sub.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"), default=None,
+        help="enable the JSON-lines event log at this level (default: off)",
+    )
+    sub.add_argument(
+        "--log-file", metavar="PATH", default=None,
+        help="write the event log to PATH instead of stderr (implies --log-level info)",
+    )
+    sub.add_argument(
+        "--slow-query-ms", type=float, default=None, metavar="N",
+        help=(
+            "log a slow_query event with the full phase breakdown for every "
+            "request slower than N ms end-to-end (implies logging)"
+        ),
+    )
 
 
 def main(argv=None):

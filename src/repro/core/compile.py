@@ -59,6 +59,7 @@ from repro.core.automata import (
     sorted_alphabet,
 )
 from repro.utils.errors import KmtError
+from repro.utils.trace import current_trace
 
 #: Sink pseudo-state used by the product walks for symbols missing from one
 #: automaton's alphabet: non-accepting, and every transition loops on it.
@@ -227,7 +228,11 @@ def compile_automaton(action, cancel=None, minimize=True):
     raw_states = len(order)
     if not minimize:
         return CompiledAutomaton(sigma, delta, accepting, back, raw_states)
-    return _minimized(sigma, delta, accepting, raw_states, cancel=cancel)
+    trace = current_trace()
+    if trace is None:
+        return _minimized(sigma, delta, accepting, raw_states, cancel=cancel)
+    with trace.span("minimize"):
+        return _minimized(sigma, delta, accepting, raw_states, cancel=cancel)
 
 
 def _minimized(sigma, delta, accepting, raw_states, cancel=None):
@@ -363,6 +368,14 @@ def _product_search(a, b, mismatch, cancel=None):
     ``(True, None)`` when no reachable pair mismatches, else ``(False,
     word)``.
     """
+    trace = current_trace()
+    if trace is not None:
+        with trace.span("product_walk"):
+            return _product_search_untraced(a, b, mismatch, cancel)
+    return _product_search_untraced(a, b, mismatch, cancel)
+
+
+def _product_search_untraced(a, b, mismatch, cancel):
     merged, map_a, map_b = _merged_sigma(a, b)
     start = (a.initial, b.initial)
     seen = {start}

@@ -89,6 +89,7 @@ from repro.core.compile import compile_automaton, compiled_compare, compiled_inc
 from repro.core.pushback import DEFAULT_BUDGET, Normalizer
 from repro.smt.dpll import SignatureSearchStats, enumerate_signatures
 from repro.smt.literals import evaluate
+from repro.utils.trace import current_trace
 
 #: Valid values for the ``cell_search`` option of :class:`EquivalenceChecker`.
 CELL_SEARCH_MODES = ("signature", "enumerate")
@@ -488,7 +489,12 @@ class EquivalenceChecker:
         cached = _memo_get(memo, key)
         if cached is not _CACHE_MISS:
             return cached
-        automaton = compile_automaton(action, cancel=cancel)
+        trace = current_trace()
+        if trace is None:
+            automaton = compile_automaton(action, cancel=cancel)
+        else:
+            with trace.span("compile"):
+                automaton = compile_automaton(action, cancel=cancel)
         self.states_compiled += automaton.raw_states
         _memo_put(memo, key, automaton)
         return automaton
@@ -711,17 +717,31 @@ class _MemoizedComparison:
             # equivalent terms, where a signature enables the same summands
             # on both sides.  Reflexivity answers both query kinds without
             # compiling anything.
+            trace = current_trace()
+            if trace is not None:
+                trace.count("compare_reflexive")
             return (True, None)
         key = self.key_fn(left, right)
         cached = _memo_get(self.memo, key)
         if cached is not _CACHE_MISS:
+            trace = current_trace()
+            if trace is not None:
+                trace.count("compare_memo_hits")
             return cached
         if self.symmetric:
             mirrored = _memo_get(self.memo, self.key_fn(right, left))
             if mirrored is not _CACHE_MISS and mirrored[0]:
+                trace = current_trace()
+                if trace is not None:
+                    trace.count("compare_memo_hits")
                 return mirrored
         self.comparisons += 1
-        verdict = self.run(left, right)
+        trace = current_trace()
+        if trace is None:
+            verdict = self.run(left, right)
+        else:
+            with trace.span("compare"):
+                verdict = self.run(left, right)
         _memo_put(self.memo, key, verdict)
         return verdict
 
@@ -753,7 +773,14 @@ class _CellSearch:
         self.cells_pruned = 0
 
     def run(self):
-        return self._go(0, [])
+        trace = current_trace()
+        if trace is None:
+            return self._go(0, [])
+        # "signatures" covers both search strategies: it is the enumeration
+        # phase of the decision procedure (cells are the ablation analogue of
+        # signatures), and downstream phase names stay strategy-independent.
+        with trace.span("signatures"):
+            return self._go(0, [])
 
     def _go(self, index, literals):
         if self.prune and literals:
@@ -844,6 +871,13 @@ class _SignatureSearch:
         self.signatures_explored = 0
 
     def run(self):
+        trace = current_trace()
+        if trace is None:
+            return self._run()
+        with trace.span("signatures"):
+            return self._run()
+
+    def _run(self):
         for signature, witness in enumerate_signatures(
             self.guards, self.theory, satisfiable=self._satisfiable, stats=self.stats,
             cancel=self.cancel,

@@ -21,13 +21,27 @@ that work across queries:
   workers (threads in-process, or worker *processes* for true CPU
   parallelism — crashed workers are respawned by a supervisor), per-request
   deadlines with cooperative cancellation, out-of-order or ordered emission,
-  and stdio/TCP front ends.
+  and stdio/TCP front ends;
+* :mod:`repro.engine.telemetry` — per-request span tracing (``"trace": true``
+  phase breakdowns), the counters/gauges/histogram metrics registry with
+  Prometheus exposition, and the JSON-lines structured event log.
 """
 
 from repro.engine.cache import CacheStats, EngineCaches, LRUCache
 from repro.engine.intern import fingerprint, fingerprint_normal_form
+from repro.engine.telemetry import (
+    JsonLinesFormatter,
+    MetricsExporter,
+    MetricsRegistry,
+    Trace,
+    configure_logging,
+    current_trace,
+    log_event,
+    merge_metrics,
+    render_prometheus,
+)
 from repro.engine.session import EngineSession
-from repro.engine.batch import BatchRunner, SessionPool, run_batch_lines, serve
+from repro.engine.batch import BatchRunner, SessionPool, run_batch_lines, run_query, serve
 from repro.engine.server import (
     ProcessExecutionBackend,
     QueryServer,
@@ -43,7 +57,10 @@ __all__ = [
     "CacheStats",
     "EngineCaches",
     "EngineSession",
+    "JsonLinesFormatter",
     "LRUCache",
+    "MetricsExporter",
+    "MetricsRegistry",
     "ProcessExecutionBackend",
     "QueryServer",
     "ResponseSink",
@@ -51,9 +68,16 @@ __all__ = [
     "ShardedSessionPool",
     "SocketServer",
     "ThreadExecutionBackend",
+    "Trace",
+    "configure_logging",
+    "current_trace",
     "fingerprint",
     "fingerprint_normal_form",
+    "log_event",
+    "merge_metrics",
+    "render_prometheus",
     "run_batch_lines",
+    "run_query",
     "serve",
     "serve_stdio",
 ]

@@ -23,8 +23,11 @@ theory's persistent :class:`~repro.engine.session.EngineSession`, so duplicate
 and overlapping queries inside a batch hit the session caches instead of
 re-normalizing.  The serve loop (``repro serve``) reads the same protocol from
 stdin and answers on stdout, keeping one session pool alive for the whole
-conversation; the extra ops ``{"op": "stats"}`` and ``{"op": "ping"}`` expose
-cache accounting and liveness.
+conversation; the extra ops ``{"op": "stats"}``, ``{"op": "ping"}`` and
+``{"op": "metrics"}`` expose cache accounting, liveness and the aggregated
+telemetry counters/histograms.  Any query may carry ``"trace": true`` to get
+a per-phase timing breakdown back in its response (see
+:mod:`repro.engine.telemetry`).
 
 The request parsing/validation helpers (:func:`parse_request_line`,
 :func:`execute_query`, :func:`error_response`, :func:`classify_query_error`)
@@ -35,20 +38,25 @@ the two front ends cannot drift apart on protocol details.
 from __future__ import annotations
 
 import json
+import logging
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.pretty import pretty_normal_form
 from repro.core.pushback import DEFAULT_BUDGET
 from repro.engine.cache import installed_derivative_stats
 from repro.engine.session import EngineSession
+from repro.engine.telemetry import MetricsRegistry, Trace, activate, deactivate, log_event
 from repro.theories import build_theory
 from repro.utils.errors import KmtError, ParseError, QueryCancelled, WireProtocolError
+
+_log = logging.getLogger("kmt.batch")
 
 #: Ops that dispatch to a theory session.
 QUERY_OPS = ("equiv", "leq", "inclusion", "member", "norm", "sat", "empty")
 #: Control ops understood by the serve loop (and harmlessly by batches).
-CONTROL_OPS = ("stats", "ping")
+CONTROL_OPS = ("stats", "ping", "metrics")
 
 DEFAULT_THEORY = "incnat"
 
@@ -137,6 +145,7 @@ _WIRE_FIELDS = {
     "empty": ("term",),
     "stats": (),
     "ping": (),
+    "metrics": (),
     "quit": (),
 }
 
@@ -397,6 +406,68 @@ def execute_query(session, record, cancel=None):
     raise KmtError(f"unknown op {op!r}; expected one of {', '.join(QUERY_OPS)}")
 
 
+def _cache_table_snapshot(caches):
+    """Per-table ``(hits, misses)`` for the session-private cache tables.
+
+    The process-wide shared derivative memo is deliberately excluded: under
+    concurrency its deltas would blend other requests' traffic into this
+    request's trace.
+    """
+    private = getattr(caches, "private_caches", None)
+    if private is None:
+        return {}
+    return {cache.stats.name: (cache.stats.hits, cache.stats.misses)
+            for cache in private()}
+
+
+def _cache_table_deltas(before, after):
+    out = {}
+    for name, (hits, misses) in after.items():
+        hits_before, misses_before = before.get(name, (0, 0))
+        delta_hits, delta_misses = hits - hits_before, misses - misses_before
+        if delta_hits or delta_misses:
+            out[name] = {"hits": delta_hits, "misses": delta_misses}
+    return out
+
+
+def run_query(session, record, cancel=None, force_trace=False):
+    """Execute one query, honoring the request's ``"trace": true`` flag.
+
+    Returns ``(result, trace_payload)``; the payload is ``None`` on the
+    untraced fast path (one dict lookup of overhead).  When tracing, a
+    :class:`~repro.engine.telemetry.Trace` is activated on this thread for
+    the duration of the query so every instrumented layer (session
+    normalization, signature/cell search, comparison memo, automaton
+    compilation + minimization, product walks) records its spans into it.
+    The payload carries the phase self-time breakdown, ``exec_ms`` (the whole
+    execution window), ``unattributed_ms`` (window time no phase claims:
+    parsing, routing, memo lookups), and per-table cache hit/miss deltas
+    observed across the query — the caller must hold the session lock, which
+    makes those deltas attributable to this request alone.  ``force_trace``
+    traces a request that did not ask (the slow-query log), in which case the
+    caller is responsible for stripping the payload from the client response.
+    Failed queries raise exactly as :func:`execute_query` does; the partial
+    trace is discarded with them.
+    """
+    if not (force_trace or record.get("trace")):
+        return execute_query(session, record, cancel=cancel), None
+    trace = Trace()
+    tables_before = _cache_table_snapshot(session.caches)
+    started = time.monotonic()
+    activate(trace)
+    try:
+        result = execute_query(session, record, cancel=cancel)
+    finally:
+        deactivate()
+    exec_ms = (time.monotonic() - started) * 1000.0
+    payload = trace.payload()
+    payload["exec_ms"] = round(exec_ms, 3)
+    payload["unattributed_ms"] = round(max(0.0, exec_ms - trace.attributed_ms()), 3)
+    payload["cache"] = _cache_table_deltas(
+        tables_before, _cache_table_snapshot(session.caches))
+    return result, payload
+
+
 class SessionPool:
     """Lazily-built, persistent :class:`EngineSession` per theory preset.
 
@@ -458,7 +529,7 @@ class BatchRunner:
     """Parse, group and execute a JSONL batch on a session pool."""
 
     def __init__(self, pool=None, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, jobs=None,
-                 cell_search=None):
+                 cell_search=None, slow_query_ms=None):
         # ``cell_search=None`` means "whatever the pool uses" — an explicit
         # value must not be silently ignored when a caller also passes a pool
         # built with a different strategy.
@@ -476,6 +547,8 @@ class BatchRunner:
             )
         self.default_theory = default_theory
         self.jobs = jobs
+        self.slow_query_ms = slow_query_ms
+        self.metrics = MetricsRegistry()
 
     def run_lines(self, lines, index_offset=0):
         """Execute an iterable of JSONL lines; returns response dicts in order.
@@ -524,6 +597,8 @@ class BatchRunner:
         response = {"id": record.get("id", index), "op": record["op"], "ok": True}
         if record["op"] == "stats":
             response["result"] = self.pool.stats()
+        elif record["op"] == "metrics":
+            response["result"] = self.metrics.snapshot()
         else:
             response["result"] = {"pong": True, "theories": self.pool.theories()}
         return response
@@ -565,12 +640,31 @@ class BatchRunner:
                     "op": record["op"],
                     "theory": theory_name,
                 }
+                started = time.monotonic()
+                trace_payload = None
                 try:
                     base["ok"] = True
-                    base["result"] = execute_query(session, record)
+                    base["result"], trace_payload = run_query(
+                        session, record, force_trace=self.slow_query_ms is not None)
                 except (KmtError, KeyError, TypeError, ValueError) as error:
                     message, code = classify_query_error(error)
                     base = error_response(record, index, theory_name, message, code)
+                elapsed_ms = (time.monotonic() - started) * 1000.0
+                if trace_payload is not None:
+                    trace_payload["total_ms"] = round(elapsed_ms, 3)
+                    if record.get("trace"):
+                        base["trace"] = trace_payload
+                outcome = base.get("error_code", "ok")
+                labels = (("theory", theory_name), ("op", record["op"]))
+                self.metrics.inc("requests_total", labels + (("outcome", outcome),))
+                self.metrics.observe("request_latency_ms", elapsed_ms, labels)
+                if self.slow_query_ms is not None and elapsed_ms >= self.slow_query_ms:
+                    log_event(_log, logging.WARNING, "slow_query",
+                              request_id=base.get("id"), op=record["op"],
+                              theory=theory_name, total_ms=round(elapsed_ms, 3),
+                              outcome=outcome,
+                              phases=(trace_payload or {}).get("phases"),
+                              cache=(trace_payload or {}).get("cache"))
                 out[index] = base
         return out
 
@@ -584,7 +678,7 @@ def run_batch_lines(lines, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET,
 
 
 def serve(stdin, stdout, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, pool=None,
-          cell_search=None):
+          cell_search=None, slow_query_ms=None):
     """The blocking one-at-a-time serve loop (see also :mod:`repro.engine.server`).
 
     One JSON request per stdin line, one answer per line, strictly in order;
@@ -603,7 +697,7 @@ def serve(stdin, stdout, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, p
     the single-threaded baseline for ``benchmarks/bench_serve.py``.
     """
     runner = BatchRunner(pool=pool, default_theory=default_theory, budget=budget, jobs=1,
-                         cell_search=cell_search)
+                         cell_search=cell_search, slow_query_ms=slow_query_ms)
     served = 0
     for lineno, raw in enumerate(stdin):
         kind, payload = parse_request_line(raw)

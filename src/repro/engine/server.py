@@ -73,6 +73,7 @@ from __future__ import annotations
 import heapq
 import importlib
 import json
+import logging
 import multiprocessing
 import os
 import socket
@@ -98,13 +99,22 @@ from repro.engine.batch import (
     encode_wire_request,
     encode_wire_response,
     error_response,
-    execute_query,
     parse_request_line,
+    run_query,
 )
 from repro.engine.cache import installed_derivative_stats
 from repro.engine.session import EngineSession
+from repro.engine.telemetry import (
+    MetricsRegistry,
+    empty_snapshot,
+    log_event,
+    merge_metrics,
+    render_prometheus,
+)
 from repro.theories import build_theory
 from repro.utils.errors import DeadlineExceeded, KmtError, WireProtocolError, WorkerCrashed
+
+_log = logging.getLogger("kmt.server")
 
 _STOP = object()
 
@@ -250,7 +260,15 @@ def execute_record(pool, record, default_theory, fallback_id, cancel=None,
     try:
         with session.lock:
             base["ok"] = True
-            base["result"] = execute_query(session, record, cancel=cancel)
+            # ``"trace": true`` requests get their phase breakdown attached
+            # here — under the session lock, so the cache deltas in the trace
+            # belong to this request alone.  Inside a worker process this is
+            # where the trace block enters the response; it then crosses the
+            # pipe as a wire-form extra field, byte-exact, and the scheduler
+            # re-anchors queue/total timings in its own clock domain.
+            base["result"], trace_payload = run_query(session, record, cancel=cancel)
+            if trace_payload is not None:
+                base["trace"] = trace_payload
     except (KmtError, KeyError, TypeError, ValueError) as error:
         message, code = classify_query_error(error)
         return error_response(record, fallback_id, theory, message, code)
@@ -350,6 +368,11 @@ class ThreadExecutionBackend:
     def worker_info(self):
         return None
 
+    def worker_metrics(self):
+        # Thread-backend execution happens in the scheduler's own process;
+        # everything is already in the server-side registry.
+        return None
+
     def shutdown(self):
         pass
 
@@ -382,6 +405,8 @@ def _process_worker_main(conn, config):
         theory_factory=resolve_theory_factory(config["theory_factory_spec"]),
     )
     default_theory = config["default_theory"]
+    worker_label = str(config.get("worker_index", ""))
+    metrics = MetricsRegistry()
     served = 0
     while True:
         try:
@@ -398,6 +423,7 @@ def _process_worker_main(conn, config):
             conn.send(("pong", message[1], os.getpid()))
             continue
         _, seq, wire, fallback_id, remaining_ms, deadline_ms = message
+        exec_started = time.monotonic()
         try:
             record = decode_wire_request(wire)
             cancel = None
@@ -423,13 +449,26 @@ def _process_worker_main(conn, config):
                 {}, fallback_id, None, f"response not wire-serializable: {error}",
                 ERROR_INTERNAL))
         served += 1
+        metrics.inc("worker_requests_total", (
+            ("worker", worker_label),
+            ("theory", str(response.get("theory", ""))),
+            ("op", str(response.get("op", ""))),
+            ("outcome", response.get("error_code") or "ok"),
+        ))
+        metrics.observe(
+            "worker_exec_latency_ms", (time.monotonic() - exec_started) * 1000.0,
+            (("worker", worker_label),
+             ("theory", str(response.get("theory", ""))),
+             ("op", str(response.get("op", "")))))
         # Computing and pickling the stats tables on every response would tax
         # the hot path stats are not on; snapshots piggyback on the first few
         # responses (new sessions appear during warmup) and every
         # _STATS_SNAPSHOT_PERIOD-th after that — bounded staleness, zero
-        # extra IPC — and the parent keeps the latest per worker.
-        snapshot = pool.stats() if served <= 4 or served % _STATS_SNAPSHOT_PERIOD == 0 \
-            else None
+        # extra IPC — and the parent keeps the latest per worker.  The worker
+        # metrics registry rides along on the same cadence and is merged in
+        # the parent by ``merge_metrics``, like ``merge_pool_stats``.
+        snapshot = {"pool": pool.stats(), "metrics": metrics.snapshot()} \
+            if served <= 4 or served % _STATS_SNAPSHOT_PERIOD == 0 else None
         conn.send(("done", seq, wire_response, snapshot))
 
 
@@ -460,8 +499,9 @@ class _WorkerHandle:
 
     def _spawn(self):
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        config = dict(self._config, worker_index=self.index)
         process = self._ctx.Process(
-            target=_process_worker_main, args=(child_conn, self._config),
+            target=_process_worker_main, args=(child_conn, config),
             name=f"kmt-server-proc-{self.index}", daemon=True,
         )
         process.start()
@@ -599,7 +639,8 @@ class ProcessExecutionBackend:
         self._ctx = multiprocessing.get_context(start_method)
         self._handles = []
         self._stats_lock = threading.Lock()
-        self._last_pool_stats = {}  # worker index -> latest stats snapshot
+        self._last_pool_stats = {}  # worker index -> latest cache-stats snapshot
+        self._last_metrics = {}     # worker index -> latest metrics snapshot
 
     def start(self):
         if not self._handles:
@@ -654,18 +695,24 @@ class ProcessExecutionBackend:
                 raise WorkerCrashed(
                     f"worker process {handle.index} (pid {handle.pid}) broke protocol "
                     f"(sent {reply[0]!r})")
-            _, _, wire_response, pool_stats = reply
+            _, _, wire_response, snapshot = reply
             response = decode_wire_response(wire_response)
         except WorkerCrashed as crash:
+            crashed_pid = handle.pid
             handle.respawn(generation)
+            log_event(_log, logging.WARNING, "worker_respawned",
+                      worker=handle.index, crashed_pid=crashed_pid,
+                      new_pid=handle.pid, restarts=handle.restarts,
+                      error=str(crash))
             return error_response(
                 record, request.fallback_id, request.theory,
                 f"{crash}; worker respawned as pid {handle.pid} (the request was "
                 "not retried)", ERROR_WORKER_CRASHED)
         handle.requests += 1
-        if pool_stats is not None:
+        if snapshot is not None:
             with self._stats_lock:
-                self._last_pool_stats[handle.index] = pool_stats
+                self._last_pool_stats[handle.index] = snapshot["pool"]
+                self._last_metrics[handle.index] = snapshot["metrics"]
         return response
 
     def pool_stats(self):
@@ -683,6 +730,14 @@ class ProcessExecutionBackend:
         with self._stats_lock:
             blocks = list(self._last_pool_stats.values())
         return sorted({name for block in blocks for name in block if name != "shared"})
+
+    def worker_metrics(self):
+        """Merged per-worker metrics (same snapshot cadence as pool stats)."""
+        with self._stats_lock:
+            snapshots = list(self._last_metrics.values())
+        if not snapshots:
+            return None
+        return merge_metrics(snapshots)
 
     def worker_info(self):
         return [
@@ -775,7 +830,7 @@ class ResponseSink:
 
 class _Request:
     __slots__ = ("record", "theory", "stripe", "sink", "seq", "fallback_id",
-                 "submitted", "deadline", "deadline_ms")
+                 "submitted", "deadline", "deadline_ms", "dispatched", "wants_trace")
 
     def __init__(self, record, theory, stripe, sink, seq, fallback_id, submitted,
                  deadline, deadline_ms):
@@ -788,6 +843,8 @@ class _Request:
         self.submitted = submitted
         self.deadline = deadline
         self.deadline_ms = deadline_ms
+        self.dispatched = None            # set by the worker loop
+        self.wants_trace = bool(record.get("trace"))
 
 
 class QueryServer:
@@ -803,7 +860,8 @@ class QueryServer:
 
     def __init__(self, workers=4, stripes=None, queue_limit=128, default_theory=DEFAULT_THEORY,
                  budget=DEFAULT_BUDGET, cell_search="signature", theory_factory=None, pool=None,
-                 backend="thread", theory_factory_spec=None, start_method="spawn"):
+                 backend="thread", theory_factory_spec=None, start_method="spawn",
+                 slow_query_ms=None, enable_metrics=True):
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
         if queue_limit < 1:
@@ -849,6 +907,12 @@ class QueryServer:
                     theory_factory=theory_factory,
                 )
             self.backend = ThreadExecutionBackend(self.pool, default_theory)
+        if slow_query_ms is not None and slow_query_ms < 0:
+            raise ValueError(f"slow_query_ms must be non-negative, got {slow_query_ms}")
+        self.slow_query_ms = slow_query_ms
+        # ``enable_metrics=False`` removes even the (cheap) registry updates
+        # from the completion path — the telemetry benchmark's baseline mode.
+        self.metrics = MetricsRegistry() if enable_metrics else None
         self._queues = [Queue() for _ in range(workers)]
         self._threads = []
         self._capacity = threading.Semaphore(queue_limit)
@@ -858,10 +922,15 @@ class QueryServer:
         self._queued = 0          # queued, not yet picked up by a worker
         self._peak_queued = 0
         self._completed = 0
+        self._op_counts = {}      # op -> completed count (satellite: stats by_op)
         self._error_counts = {}
         self._latencies = deque(maxlen=_LATENCY_WINDOW)
+        self._queue_latencies = deque(maxlen=_LATENCY_WINDOW)
+        self._exec_latencies = deque(maxlen=_LATENCY_WINDOW)
         self._accepting = True
         self._started = False
+        self._started_monotonic = time.monotonic()
+        self._started_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -870,11 +939,17 @@ class QueryServer:
         if self._started:
             return self
         self._started = True
+        self._started_monotonic = time.monotonic()
+        self._started_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
         with self._state:
             # A stopped server may be started again (shutdown() tears the
             # workers down but leaves the object reusable); intake must
             # reopen with it or every request gets `shutting_down`.
             self._accepting = True
+        log_event(_log, logging.INFO, "server_start",
+                  backend=self.backend_name, workers=self.workers,
+                  stripes=self.stripes, queue_limit=self.queue_limit,
+                  slow_query_ms=self.slow_query_ms)
         self.backend.start()
         for index, queue in enumerate(self._queues):
             thread = threading.Thread(
@@ -920,6 +995,10 @@ class QueryServer:
                 thread.join()
             self._threads = []
             self._started = False
+            with self._state:
+                completed, errors = self._completed, dict(self._error_counts)
+            log_event(_log, logging.INFO, "server_stop",
+                      backend=self.backend_name, completed=completed, errors=errors)
         self.backend.shutdown()
 
     # ------------------------------------------------------------------
@@ -1025,6 +1104,7 @@ class QueryServer:
             request = queue.get()
             if request is _STOP:
                 return
+            request.dispatched = time.monotonic()
             with self._state:
                 self._queued -= 1
             try:
@@ -1033,18 +1113,57 @@ class QueryServer:
                 message, code = str(error), ERROR_INTERNAL
                 response = error_response(request.record, request.fallback_id,
                                           request.theory, message, code)
+            # One clock read covers the latency sample, its queue/exec split
+            # and the trace's re-anchored totals, so they can never disagree.
+            done = time.monotonic()
+            latency = done - request.submitted
+            queue_s = request.dispatched - request.submitted
+            exec_s = done - request.dispatched
+            trace_block = response.get("trace")
+            if trace_block is not None:
+                if not request.wants_trace:
+                    # Force-traced for the slow-query log only: the client did
+                    # not ask for a trace and must not receive one.
+                    del response["trace"]
+                else:
+                    # Re-anchor in the scheduler's clock domain: exec_ms was
+                    # measured next to the query (possibly in another
+                    # process); queue wait and the end-to-end total are the
+                    # scheduler's to report, the same split the deadline
+                    # plumbing uses.
+                    trace_block["queue_ms"] = round(queue_s * 1000.0, 3)
+                    trace_block["total_ms"] = round(latency * 1000.0, 3)
             request.sink.emit(request.seq, response)
-            latency = time.monotonic() - request.submitted
             self._capacity.release()
+            op = request.record.get("op", "unknown")
             with self._state:
                 self._in_flight -= 1
                 self._completed += 1
+                self._op_counts[op] = self._op_counts.get(op, 0) + 1
                 self._latencies.append(latency)
+                self._queue_latencies.append(queue_s)
+                self._exec_latencies.append(exec_s)
                 code = response.get("error_code")
                 if code is not None:
                     self._error_counts[code] = self._error_counts.get(code, 0) + 1
                 if self._in_flight == 0:
                     self._idle.notify_all()
+            if self.metrics is not None:
+                labels = (("theory", request.theory), ("op", op))
+                self.metrics.inc("requests_total",
+                                 labels + (("outcome", code or "ok"),))
+                self.metrics.observe("request_latency_ms", latency * 1000.0, labels)
+                self.metrics.observe("queue_latency_ms", queue_s * 1000.0, labels)
+                self.metrics.observe("exec_latency_ms", exec_s * 1000.0, labels)
+            if self.slow_query_ms is not None and latency * 1000.0 >= self.slow_query_ms:
+                log_event(_log, logging.WARNING, "slow_query",
+                          request_id=response.get("id"), op=op,
+                          theory=request.theory, outcome=code or "ok",
+                          total_ms=round(latency * 1000.0, 3),
+                          queue_ms=round(queue_s * 1000.0, 3),
+                          exec_ms=round(exec_s * 1000.0, 3),
+                          phases=(trace_block or {}).get("phases"),
+                          cache=(trace_block or {}).get("cache"))
 
     def _execute(self, worker_index, request):
         # The queued-too-long check lives in the scheduler (one clock, one
@@ -1054,6 +1173,11 @@ class QueryServer:
                 request.record, request.fallback_id, request.theory,
                 f"deadline of {request.deadline_ms} ms expired while queued",
                 ERROR_DEADLINE)
+        if self.slow_query_ms is not None and not request.wants_trace:
+            # Force a trace so a slow offender can be logged with its full
+            # phase breakdown; the worker loop strips it from the client
+            # response.  The flag crosses the process pipe as a wire extra.
+            request.record["trace"] = True
         return self.backend.execute(worker_index, request)
 
     # ------------------------------------------------------------------
@@ -1065,46 +1189,113 @@ class QueryServer:
 
     def _count_error_locked(self, code):
         self._error_counts[code] = self._error_counts.get(code, 0) + 1
+        if self.metrics is not None:
+            # A leaf lock under self._state — the registry never takes
+            # scheduler locks, so the ordering is safe.
+            self.metrics.inc("rejected_total", (("code", code),))
+
+    @staticmethod
+    def _percentile_block(samples_sorted):
+        """Percentiles over a sorted window of second-valued samples."""
+        def percentile(fraction):
+            if not samples_sorted:
+                return None
+            index = min(len(samples_sorted) - 1, int(fraction * len(samples_sorted)))
+            return round(samples_sorted[index] * 1000.0, 3)
+
+        return {
+            "count": len(samples_sorted),
+            "p50": percentile(0.50),
+            "p90": percentile(0.90),
+            "p99": percentile(0.99),
+            "max": round(samples_sorted[-1] * 1000.0, 3) if samples_sorted else None,
+        }
 
     def server_stats(self):
-        """Scheduler-level counters: queue gauges and latency percentiles."""
+        """Scheduler-level counters: queue gauges and latency percentiles.
+
+        ``latency_ms`` is end-to-end (submission to response); ``queue_ms``
+        and ``exec_ms`` split the same window at worker dispatch, so an
+        operator can tell backpressure from slow compute at a glance.
+        """
         with self._state:
             latencies = sorted(self._latencies)
+            queue_latencies = sorted(self._queue_latencies)
+            exec_latencies = sorted(self._exec_latencies)
             queued = self._queued
             peak = self._peak_queued
             in_flight = self._in_flight
             completed = self._completed
+            by_op = dict(sorted(self._op_counts.items()))
             errors = dict(self._error_counts)
-
-        def percentile(fraction):
-            if not latencies:
-                return None
-            index = min(len(latencies) - 1, int(fraction * len(latencies)))
-            return round(latencies[index] * 1000.0, 3)
 
         out = {
             "backend": self.backend_name,
             "workers": self.workers,
             "stripes": self.stripes,
+            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "started_at": self._started_at,
             "queue": {
                 "depth": queued,
                 "peak": peak,
                 "limit": self.queue_limit,
                 "in_flight": in_flight,
             },
-            "requests": {"completed": completed, "errors": errors},
-            "latency_ms": {
-                "count": len(latencies),
-                "p50": percentile(0.50),
-                "p90": percentile(0.90),
-                "p99": percentile(0.99),
-                "max": round(latencies[-1] * 1000.0, 3) if latencies else None,
-            },
+            "requests": {"completed": completed, "errors": errors, "by_op": by_op},
+            "latency_ms": self._percentile_block(latencies),
+            "queue_ms": self._percentile_block(queue_latencies),
+            "exec_ms": self._percentile_block(exec_latencies),
         }
         worker_info = self.backend.worker_info()
         if worker_info is not None:
             out["process_workers"] = worker_info
         return out
+
+    def metrics_snapshot(self):
+        """The aggregated metrics: scheduler registry + merged worker blocks.
+
+        Parent-side counters/histograms, the process workers' merged
+        registries (when that backend is active — same piggyback cadence as
+        their cache stats), live scheduler gauges, and the pool's cache
+        tables re-expressed as ``cache_*_total`` counters labeled by theory
+        and table.
+        """
+        snapshots = [self.metrics.snapshot() if self.metrics is not None
+                     else empty_snapshot()]
+        worker = self.backend.worker_metrics()
+        if worker is not None:
+            snapshots.append(worker)
+        merged = merge_metrics(snapshots)
+        with self._state:
+            gauge_values = {
+                "queue_depth": self._queued,
+                "queue_peak": self._peak_queued,
+                "queue_limit": self.queue_limit,
+                "in_flight": self._in_flight,
+            }
+        gauge_values.update({
+            "workers": self.workers,
+            "stripes": self.stripes,
+            "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
+        })
+        for name, value in gauge_values.items():
+            merged["gauges"][name] = [{"labels": {}, "value": value}]
+        counters = merged["counters"]
+        for theory, block in self.backend.pool_stats().items():
+            for table, stats in block.get("tables", {}).items():
+                labels = {"theory": theory, "table": table}
+                for counter, metric in (("hits", "cache_hits_total"),
+                                        ("misses", "cache_misses_total"),
+                                        ("evictions", "cache_evictions_total")):
+                    value = stats.get(counter, 0)
+                    if value:
+                        counters.setdefault(metric, []).append(
+                            {"labels": labels, "value": value})
+        return merged
+
+    def metrics_prometheus(self):
+        """The metrics snapshot in Prometheus text exposition format."""
+        return render_prometheus(self.metrics_snapshot())
 
     def _control_response(self, record, fallback_id):
         response = {"id": record.get("id", fallback_id), "op": record["op"], "ok": True}
@@ -1112,6 +1303,8 @@ class QueryServer:
             result = self.backend.pool_stats()
             result["server"] = self.server_stats()
             response["result"] = result
+        elif record["op"] == "metrics":
+            response["result"] = self.metrics_snapshot()
         else:
             response["result"] = {"pong": True, "theories": self.backend.theories()}
         return response

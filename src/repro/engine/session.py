@@ -27,6 +27,7 @@ from repro.core.kmt import KMT
 from repro.core.pushback import DEFAULT_BUDGET, Normalizer
 from repro.engine import intern
 from repro.engine.cache import DERIVATIVE_CACHE, EngineCaches
+from repro.utils.trace import current_trace
 
 _MISS = object()
 
@@ -104,8 +105,16 @@ class EngineSession:
             return cached
         self._normalizer.reset_stats()
         self._normalizer.cancel = cancel
+        trace = current_trace()
         try:
-            nf = self._normalizer.normalize(term)
+            if trace is None:
+                nf = self._normalizer.normalize(term)
+            else:
+                # Timed here (around the whole pushback normalization) rather
+                # than inside the Normalizer: one span per cache miss, zero
+                # cost on the per-step hot loop.
+                with trace.span("normalize"):
+                    nf = self._normalizer.normalize(term)
         finally:
             self._normalizer.cancel = None
             self._cumulative_steps += self._normalizer.stats.steps

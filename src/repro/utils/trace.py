@@ -1,0 +1,162 @@
+"""Low-overhead per-request span tracing (the recorder half of telemetry).
+
+This lives in :mod:`repro.utils` — not :mod:`repro.engine.telemetry`, which is
+the telemetry subsystem's public home and re-exports everything here — because
+the *instrumentation points* sit in the core (:mod:`repro.core.decision`,
+:mod:`repro.core.compile`) and the core must stay importable without the
+engine package.
+
+Design constraints, in order:
+
+1. **Off is free.**  Tracing is off by default; every instrumentation point
+   costs exactly one thread-local read plus a ``None`` check when no trace is
+   active (:func:`current_trace`).  Nothing is allocated, no clock is read.
+2. **On is cheap.**  An active :class:`Trace` records spans as monotonic-clock
+   timestamp pairs on a plain per-thread stack — no logging, no string
+   formatting, no I/O — and aggregates *self time* per phase name as it goes,
+   so rendering the phase breakdown is O(distinct phases).
+3. **Thread-local activation.**  The pipeline threads a ``cancel`` callable
+   through every layer already; threading a tracer the same way would touch
+   every signature again.  Instead the active trace is a thread-local the
+   request executor installs around the query (:func:`activate` /
+   :func:`deactivate`) and any layer may consult — safe because a session is
+   only ever executed by one thread at a time (the session lock), and each
+   worker thread/process activates its own trace.
+
+Spans nest: a ``compare`` span opened while a ``signatures`` span is running
+charges its duration to the parent's *child time*, so per-phase ``ms`` is
+exclusive self time and the phases of one request sum to (at most) its
+execution window — the property the server's phase breakdown relies on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+_local = threading.local()
+
+#: Spans retained verbatim per trace; beyond this, spans still aggregate into
+#: the per-phase totals but the individual (name, start, duration) records are
+#: dropped and counted (a pathological query must not build an unbounded
+#: response).
+DEFAULT_MAX_SPANS = 256
+
+
+def current_trace():
+    """The :class:`Trace` active on this thread, or ``None``.
+
+    This is the disabled-mode hot path: one thread-local attribute read.
+    """
+    return getattr(_local, "trace", None)
+
+
+def activate(trace):
+    """Install ``trace`` as this thread's active trace (must be clear)."""
+    if getattr(_local, "trace", None) is not None:
+        raise RuntimeError("a trace is already active on this thread")
+    _local.trace = trace
+    return trace
+
+
+def deactivate():
+    """Clear this thread's active trace (idempotent)."""
+    _local.trace = None
+
+
+class _SpanHandle:
+    """Context manager binding one ``with trace.span(name):`` block."""
+
+    __slots__ = ("_trace", "_name")
+
+    def __init__(self, trace, name):
+        self._trace = trace
+        self._name = name
+
+    def __enter__(self):
+        self._trace.begin(self._name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._trace.end()
+        return False
+
+
+class Trace:
+    """Span recorder for one request.
+
+    ``phase_ms`` maps span name → accumulated **self time** (milliseconds,
+    child spans excluded), ``phase_counts`` the number of spans per name;
+    ``spans`` keeps up to ``max_spans`` individual ``(name, start_ms,
+    duration_ms, depth)`` records in *completion* order (durations there are
+    inclusive).  ``counters`` holds free-form event tallies
+    (:meth:`count`) — e.g. comparison-memo hits.
+    """
+
+    __slots__ = ("max_spans", "spans", "dropped", "phase_ms", "phase_counts",
+                 "counters", "_stack", "_origin")
+
+    def __init__(self, max_spans=DEFAULT_MAX_SPANS):
+        self.max_spans = max_spans
+        self.spans = []
+        self.dropped = 0
+        self.phase_ms = {}
+        self.phase_counts = {}
+        self.counters = {}
+        self._stack = []  # [name, started_monotonic, child_seconds]
+        self._origin = time.monotonic()
+
+    def span(self, name):
+        """A context manager recording one span named ``name``."""
+        return _SpanHandle(self, name)
+
+    def begin(self, name):
+        self._stack.append([name, time.monotonic(), 0.0])
+
+    def end(self):
+        name, started, child_s = self._stack.pop()
+        duration_s = time.monotonic() - started
+        if self._stack:
+            # Charge the whole inclusive duration to the parent's child time:
+            # the parent's self time must exclude everything spent in here.
+            self._stack[-1][2] += duration_s
+        self.phase_ms[name] = self.phase_ms.get(name, 0.0) + (duration_s - child_s) * 1000.0
+        self.phase_counts[name] = self.phase_counts.get(name, 0) + 1
+        if len(self.spans) < self.max_spans:
+            self.spans.append(
+                (name, (started - self._origin) * 1000.0, duration_s * 1000.0,
+                 len(self._stack))
+            )
+        else:
+            self.dropped += 1
+
+    def count(self, name, n=1):
+        """Tally a free-form event (reported under ``counters``)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def unwind(self):
+        """Close every span still open (an exception unwound past them)."""
+        while self._stack:
+            self.end()
+
+    def attributed_ms(self):
+        """Total self time across all phases (what the spans account for)."""
+        return sum(self.phase_ms.values())
+
+    def payload(self):
+        """The JSON-able trace block (phases, spans, counters)."""
+        out = {
+            "phases": {
+                name: {"ms": round(ms, 3), "count": self.phase_counts.get(name, 0)}
+                for name, ms in sorted(self.phase_ms.items())
+            },
+            "spans": [
+                [name, round(start_ms, 3), round(duration_ms, 3), depth]
+                for name, start_ms, duration_ms, depth in self.spans
+            ],
+        }
+        if self.dropped:
+            out["spans_dropped"] = self.dropped
+        if self.counters:
+            out["counters"] = dict(sorted(self.counters.items()))
+        return out

@@ -440,7 +440,8 @@ _ALL_OPS = QUERY_OPS + CONTROL_OPS + ("quit",)
 _REQUIRED_FIELDS = {
     "equiv": ("left", "right"), "leq": ("left", "right"),
     "inclusion": ("left", "right"), "member": ("term", "word"), "norm": ("term",),
-    "sat": ("pred",), "empty": ("term",), "stats": (), "ping": (), "quit": (),
+    "sat": ("pred",), "empty": ("term",), "stats": (), "ping": (), "metrics": (),
+    "quit": (),
 }
 
 _json_values = st.recursive(
