@@ -19,6 +19,16 @@ Section 5 scaling shape also used by ``bench_cell_search.py``):
    comparison) and once hot (automata precompiled, the regime every warm
    session lives in after the first query touching a sum).
 
+3. **Does the flat kernel pay over the legacy walk?**  On the same
+   precompiled automata, hot ``flat_compare`` vs hot ``compiled_compare`` —
+   on the *equivalent* pair (where the canonical-table fast path decides
+   without walking; this is the gated number) and on an *inequivalent*
+   perturbed pair (depth ``d`` vs ``d+1``), which takes the witness-producing
+   walk (informational — below ``_BFS_NUMPY_MIN_PAIRS`` product codes, or
+   without numpy, that walk *is* the legacy one, so it is never gated on
+   wall clock).  Both kernels must agree on verdicts and witness words
+   (always gated).
+
 Run directly to emit the ``BENCH_compile.json`` artifact at the repo root::
 
     PYTHONPATH=src python benchmarks/bench_compile.py            # full
@@ -39,6 +49,7 @@ from repro.core import terms as T
 from repro.core.automata import language_compare, set_derivative_cache
 from repro.core.compile import compile_automaton, compiled_compare
 from repro.core.decision import EquivalenceChecker
+from repro.core.kernels import HAVE_NUMPY, flat_compare
 from repro.core.pushback import Normalizer
 from repro.engine.cache import DERIVATIVE_CACHE, EngineCaches
 from repro.theories.bitvec import BitVecTheory
@@ -54,6 +65,9 @@ SMOKE_SIZES = [(1, 2), (2, 2)]
 
 #: Full-run gate: warm aut-cache reuse vs cold compilation at the largest size.
 WARM_SPEEDUP_TARGET = 5.0
+#: Full-run gate: flat vs legacy kernel on the largest size's hot equivalent
+#: pair (the canonical-table fast path vs the legacy product walk).
+KERNEL_SPEEDUP_TARGET = 5.0
 #: How many repeated comparisons the hot (precompiled) regime amortizes over.
 HOT_REPEATS = 25
 
@@ -170,6 +184,69 @@ def _measure_compare(theory, loop):
     }
 
 
+def _hot_seconds(fn, repeats=HOT_REPEATS):
+    started = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - started) / repeats
+
+
+def _measure_kernels(theory, m, d):
+    """Flat vs legacy product-walk kernels on precompiled automata (hot).
+
+    The equivalent pair (sums of ``L`` vs ``L;L``) compiles to byte-identical
+    canonical tables, so the flat kernel decides it on the equality fast path
+    — the regime warm sessions live in, and the gated number.  The
+    inequivalent pair (sums of the depth-``d`` vs depth-``d+1`` loop) forces
+    the batched witness-producing BFS; it is recorded but never wall-clock
+    gated (without numpy that path *is* the legacy walk).
+    """
+    normalizer = Normalizer(theory, budget=5_000_000)
+
+    def loop_sum(term):
+        return T.tplus_all(
+            action for _, action in normalizer.normalize(term).sorted_pairs()
+        )
+
+    loop = _chain_sum_loop(theory, m, d)
+    a = compile_automaton(loop_sum(loop))
+    b = compile_automaton(loop_sum(T.tseq(loop, loop)))
+    c = compile_automaton(loop_sum(_chain_sum_loop(theory, m, d + 1)))
+    # Verdict/witness agreement is a correctness gate, not a timing one.
+    if flat_compare(a, b) != compiled_compare(a, b):
+        raise AssertionError("flat and legacy kernels disagree on the equivalent pair")
+    flat_verdict = flat_compare(a, c)
+    if flat_verdict != compiled_compare(a, c):
+        raise AssertionError("flat and legacy kernels disagree on the inequivalent pair")
+    if flat_verdict[0]:
+        raise AssertionError("perturbed pair unexpectedly equivalent")
+    equivalent = {
+        "legacy_hot_seconds": round(_hot_seconds(lambda: compiled_compare(a, b)), 9),
+        "flat_hot_seconds": round(_hot_seconds(lambda: flat_compare(a, b)), 9),
+    }
+    equivalent["flat_speedup"] = (
+        round(equivalent["legacy_hot_seconds"] / equivalent["flat_hot_seconds"], 2)
+        if equivalent["flat_hot_seconds"] else float("inf")
+    )
+    inequivalent = {
+        "legacy_hot_seconds": round(_hot_seconds(lambda: compiled_compare(a, c)), 9),
+        "flat_hot_seconds": round(_hot_seconds(lambda: flat_compare(a, c)), 9),
+        "witness_length": len(flat_verdict[1]),
+    }
+    inequivalent["flat_speedup"] = (
+        round(inequivalent["legacy_hot_seconds"] / inequivalent["flat_hot_seconds"], 2)
+        if inequivalent["flat_hot_seconds"] else float("inf")
+    )
+    out = {"numpy": HAVE_NUMPY, "equivalent": equivalent, "inequivalent": inequivalent}
+    if not HAVE_NUMPY:
+        out["note"] = (
+            "numpy unavailable: flat kernels ran the pure-array paths (the "
+            "equality fast path is numpy-free; the inequivalent pair fell "
+            "back to the legacy walk)"
+        )
+    return out
+
+
 def run_all(smoke=False):
     # The decision procedure always runs with the shared derivative memo
     # installed (sessions install it); give the derivative baseline the same
@@ -181,18 +258,21 @@ def run_all(smoke=False):
         row = {"size": [m, d]}
         row.update(_measure_cold_warm(theory, left, right))
         row["compare"] = _measure_compare(theory, loop)
+        row["kernels"] = _measure_kernels(theory, m, d)
         rows.append(row)
     return {
         "benchmark": "compile",
         "description": (
-            "cold compilation vs warm aut-cache reuse, and compiled product "
-            "walks vs derivative language_compare, on the nested-sums-under-"
-            "star family"
+            "cold compilation vs warm aut-cache reuse, compiled product "
+            "walks vs derivative language_compare, and flat vs legacy walk "
+            "kernels, on the nested-sums-under-star family"
         ),
         "smoke": smoke,
+        "numpy": HAVE_NUMPY,
         "sizes": rows,
         "largest_warm_speedup": rows[-1]["warm_speedup"],
         "largest_hot_speedup": rows[-1]["compare"]["hot_speedup"],
+        "largest_kernel_speedup": rows[-1]["kernels"]["equivalent"]["flat_speedup"],
     }
 
 
@@ -209,10 +289,24 @@ def check_report(report, require_speedup=True):
             )
         if row["warm"]["aut_hits"] <= 0:
             failures.append(f"size {row['size']}: warm run never hit the aut cache")
+        # The flat kernel must never lose to the legacy walk on the hot
+        # equivalent pair.  Gated in every lane, smoke included: the fast
+        # path is two buffer comparisons against a full product walk, so the
+        # margin is orders of magnitude — not a flaky wall-clock race.
+        if row["kernels"]["equivalent"]["flat_speedup"] < 1.0:
+            failures.append(
+                f"size {row['size']}: flat kernel slower than legacy on the "
+                f"equivalent pair ({row['kernels']['equivalent']['flat_speedup']}x)"
+            )
     if require_speedup and report["largest_warm_speedup"] < WARM_SPEEDUP_TARGET:
         failures.append(
             f"largest-size warm speedup {report['largest_warm_speedup']}x "
             f"below the {WARM_SPEEDUP_TARGET}x target"
+        )
+    if require_speedup and report["largest_kernel_speedup"] < KERNEL_SPEEDUP_TARGET:
+        failures.append(
+            f"largest-size flat-kernel speedup {report['largest_kernel_speedup']}x "
+            f"below the {KERNEL_SPEEDUP_TARGET}x target"
         )
     return failures
 

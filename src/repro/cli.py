@@ -31,7 +31,8 @@ from repro.utils.errors import KmtError
 
 
 def _make_kmt(args):
-    return KMT(build_theory(args.theory), budget=args.budget, cell_search=args.cell_search)
+    return KMT(build_theory(args.theory), budget=args.budget, cell_search=args.cell_search,
+               walk_kernel=args.walk_kernel)
 
 
 def cmd_equiv(args):
@@ -145,7 +146,8 @@ def cmd_batch(args):
 
     _configure_observability(args)
     runner = BatchRunner(default_theory=args.theory, budget=args.budget, jobs=args.jobs,
-                         cell_search=args.cell_search, slow_query_ms=args.slow_query_ms)
+                         cell_search=args.cell_search, slow_query_ms=args.slow_query_ms,
+                         walk_kernel=args.walk_kernel)
     # The input is streamed into the runner one line at a time instead of
     # readlines() — no duplicate raw-text buffer for `kmt batch -` on a large
     # pipe.  (Parsed requests and responses are still materialized: the batch
@@ -194,7 +196,8 @@ def cmd_serve(args):
         from repro.engine.batch import serve
 
         served = serve(sys.stdin, sys.stdout, default_theory=args.theory, budget=args.budget,
-                       cell_search=args.cell_search, slow_query_ms=args.slow_query_ms)
+                       cell_search=args.cell_search, slow_query_ms=args.slow_query_ms,
+                       walk_kernel=args.walk_kernel)
         print(f"# served {served} requests", file=sys.stderr)
         return 0
 
@@ -204,6 +207,7 @@ def cmd_serve(args):
         workers=args.workers, stripes=args.stripes, queue_limit=args.queue_limit,
         default_theory=args.theory, budget=args.budget, cell_search=args.cell_search,
         backend=args.backend, slow_query_ms=args.slow_query_ms,
+        walk_kernel=args.walk_kernel,
     )
 
     exporter = None
@@ -287,6 +291,17 @@ def make_arg_parser():
         help=(
             "decision-procedure cell strategy: solver-guided signature search "
             "(default) or the explicit cell enumerator (ablation baseline)"
+        ),
+    )
+    parser.add_argument(
+        "--walk-kernel",
+        choices=("flat", "legacy"),
+        default="flat",
+        help=(
+            "product-walk kernel over compiled automata: batched flat-table "
+            "kernels with a canonical-table equality fast path (default; "
+            "vectorized when numpy is importable) or the tuple-based "
+            "per-pair walk (ablation/differential oracle)"
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)

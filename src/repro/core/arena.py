@@ -1,0 +1,119 @@
+"""Arena-level sharing for compiled automata.
+
+The flat-IR refactor (:mod:`repro.core.compile`) stores each automaton's
+tables in contiguous ``array('i')`` buffers.  Two sharing concerns live here,
+deliberately outside the automaton class:
+
+* **alphabet interning** — every automaton compiled over the same theory
+  alphabet used to carry its own ``{symbol: index}`` dict; with thousands of
+  cached automata per session that dict dominated the per-instance overhead.
+  :func:`intern_sigma` / :func:`sigma_index` keep one canonical tuple and one
+  index dict per distinct alphabet, shared process-wide (the table is capped
+  and reset on overflow — interning is an optimization, never a correctness
+  requirement).
+
+* **per-session arena pools** — :class:`ArenaPool` tracks the automata a
+  session's compilations produced (weakly, so the ``aut`` LRU's eviction
+  policy stays the sole owner of their lifetime) and reports their live
+  flat-table footprint as the ``aut_bytes`` stat surfaced by
+  ``EngineSession.stats`` and every pool/server aggregation above it.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+#: Reset threshold for the process-wide alphabet interning table.  Alphabets
+#: are per-theory and tiny in number; the cap only guards pathological callers
+#: compiling over unboundedly many distinct alphabets.
+_INTERN_LIMIT = 4096
+
+_intern_lock = threading.Lock()
+_interned = {}  # sigma tuple -> (canonical tuple, {symbol: index})
+
+
+def intern_sigma(sigma):
+    """The canonical shared tuple for an alphabet.
+
+    Automata over the same alphabet end up referencing the *same* tuple
+    object, so their index maps (:func:`sigma_index`) and equality fast paths
+    share storage and can short-circuit on identity.
+    """
+    sigma = tuple(sigma)
+    with _intern_lock:
+        entry = _interned.get(sigma)
+        if entry is None:
+            if len(_interned) >= _INTERN_LIMIT:
+                _interned.clear()
+            entry = (sigma, {pi: k for k, pi in enumerate(sigma)})
+            _interned[sigma] = entry
+        return entry[0]
+
+
+def sigma_index(sigma):
+    """The shared ``{symbol: index}`` map for an (interned) alphabet."""
+    with _intern_lock:
+        entry = _interned.get(sigma)
+        if entry is None:
+            if len(_interned) >= _INTERN_LIMIT:
+                _interned.clear()
+            entry = (tuple(sigma), {pi: k for k, pi in enumerate(sigma)})
+            _interned[entry[0]] = entry
+        return entry[1]
+
+
+def interned_alphabets():
+    """Number of distinct alphabets currently interned (for stats/tests)."""
+    with _intern_lock:
+        return len(_interned)
+
+
+class ArenaPool:
+    """Weak registry of the compiled automata a session has allocated.
+
+    ``adopt`` is called by :func:`repro.core.compile.compile_automaton` when
+    the engine threads a pool through (``EngineCaches.arenas``); the pool
+    never keeps an automaton alive — the ``aut`` LRU holds the strong
+    references, so ``aut_bytes`` tracks exactly the automata the cache still
+    retains (plus any a caller is actively using).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._automata = weakref.WeakSet()
+        self.adopted = 0  # total automata ever adopted (monotonic)
+
+    def adopt(self, automaton):
+        with self._lock:
+            if automaton not in self._automata:
+                self._automata.add(automaton)
+                self.adopted += 1
+        return automaton
+
+    @property
+    def live_count(self):
+        with self._lock:
+            return len(self._automata)
+
+    @property
+    def aut_bytes(self):
+        """Flat-table bytes of all live adopted automata."""
+        with self._lock:
+            return sum(aut.nbytes for aut in self._automata)
+
+    def stats(self):
+        with self._lock:
+            live = list(self._automata)
+        return {
+            "automata": len(live),
+            "adopted": self.adopted,
+            "aut_bytes": sum(aut.nbytes for aut in live),
+        }
+
+    def __repr__(self):
+        s = self.stats()
+        return (
+            f"ArenaPool(automata={s['automata']}, adopted={s['adopted']}, "
+            f"aut_bytes={s['aut_bytes']})"
+        )

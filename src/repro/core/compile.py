@@ -1,4 +1,4 @@
-"""Compiled symbolic automata over restricted actions.
+"""Compiled symbolic automata over restricted actions — flat-arena IR.
 
 The decision procedure's hot loop compares restricted-action sums as regular
 languages.  The implicit-automaton route (:mod:`repro.core.automata`) walks
@@ -9,22 +9,35 @@ module instead *compiles* a restricted action once into an explicit
 
 * **dense int states** — derivative states are numbered 0..n-1 in BFS
   discovery order (state 0 is the start state);
-* **transition arrays** — ``delta[s][k]`` is the successor of state ``s``
-  under the ``k``-th symbol of the **canonical alphabet order**
-  (:func:`repro.core.automata.sorted_alphabet`), so a product walk is two
-  tuple indexings instead of two derivative computations;
+* **flat transition arena** — ``delta`` is a single contiguous ``array('i')``
+  of ``n_states × |sigma|`` entries in row-major order:
+  ``delta[s * |sigma| + k]`` is the successor of state ``s`` under the
+  ``k``-th symbol of the **canonical alphabet order**
+  (:func:`repro.core.automata.sorted_alphabet`), so a product walk is two int
+  indexings into contiguous buffers — and the batched kernels in
+  :mod:`repro.core.kernels` can wrap the same buffer in a numpy view with no
+  copying;
 * **accepting bitset** — an int bitmask, ``accepting >> s & 1``;
-* **back-pointers** — each non-initial state records ``(predecessor,
-  symbol_index)`` from its BFS discovery, so a shortest access word for any
-  state (hence shortest witness words) is read off by walking pointers back
-  to the start state.
+* **packed back-pointers** — ``back`` is a flat ``array('i')`` of
+  ``(predecessor, symbol_index)`` pairs (``back[2s]``, ``back[2s+1]``; the
+  start state holds ``(-1, -1)``) recorded at BFS discovery, so a shortest
+  access word for any state (hence shortest witness words) is read off by
+  walking pointers back to the start state;
+* **interned alphabets** — ``sigma`` is interned through
+  :mod:`repro.core.arena`, so the per-alphabet ``{symbol: index}`` map is
+  shared by every automaton over the same theory alphabet instead of being
+  duplicated per instance.
 
-Compilation finishes with **Hopcroft's partition-refinement minimization**,
-so the cached artifact is the canonical minimal DFA of the action's language:
-as small as the language allows, independent of the syntactic shape the
-normalizer happened to produce.
+Compilation finishes with **Hopcroft's partition-refinement minimization**
+followed by a **canonical trim**: symbols that occur in no accepted word are
+dropped from the alphabet (their columns removed from ``delta``), and the
+dead sink state is dropped when the trim leaves it unreachable.  The trimmed,
+BFS-renumbered minimal DFA is a *canonical value* of the action's language —
+two restricted actions denote the same language **iff** their compiled
+automata have identical ``(sigma, n_states, accepting, delta)`` tables.  The
+flat kernels exploit that for an O(tables) equivalence fast path.
 
-On top of the IR, three query operations:
+On top of the IR, the query operations:
 
 * :func:`compiled_compare` — language equivalence with a *shortest*
   distinguishing word (BFS product walk, no state bound needed: the automata
@@ -32,26 +45,38 @@ On top of the IR, three query operations:
 * :func:`compiled_includes` — language containment ``L(a) ⊆ L(b)`` via
   product emptiness, with a shortest word in ``L(a) \\ L(b)`` as witness;
 * :meth:`CompiledAutomaton.accepts` — word membership in O(|word|) table
-  lookups.
+  lookups (batched variant: :func:`repro.core.kernels.accepts_batch`).
+
+These are the **legacy walk** implementations — one product pair popped at a
+time off a FIFO queue.  The default decision path routes comparisons through
+the batched flat kernels (:mod:`repro.core.kernels`,
+``walk_kernel="flat"``); the walk here is retained intact as the
+differential/ablation oracle (``walk_kernel="legacy"``), exactly as
+``use_compiled=False`` preserves the derivative path.
 
 Automata compiled from different actions may have different alphabets; the
 product walks reconcile them with an implicit non-accepting *dead* sink: a
 symbol outside an automaton's alphabet derives every state of that automaton
 to the empty language (the Brzozowski derivative of a term not mentioning the
-symbol is ``0``), which is exactly the sink's behaviour.
+symbol is ``0``), which is exactly the sink's behaviour.  The canonical trim
+leans on the same fact: pruning a dead symbol's column only removes
+transitions into the sink.
 
 The engine layer caches compiled automata in a per-session ``aut`` LRU
 (:class:`repro.engine.cache.EngineCaches`), keyed by the action's stable
 fingerprint — a warm session that has seen a restricted-action sum in any
 earlier query or signature reuses the minimized automaton instead of
-re-deriving it.
+re-deriving it.  The session's :class:`repro.core.arena.ArenaPool` tracks the
+cached automata's flat-table footprint (the ``aut_bytes`` stat).
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 
 from repro.core import terms as T
+from repro.core.arena import intern_sigma, sigma_index
 from repro.core.automata import (
     canonical,
     derivative,
@@ -72,22 +97,59 @@ class CompiledAutomaton:
     Instances are immutable value objects: they are shared through the
     engine's ``aut`` cache across queries (and threads), so nothing may
     mutate them after construction.
+
+    ``delta`` and ``back`` are flat ``array('i')`` buffers (see the module
+    docstring for the layout); ``delta`` may also be passed as an iterable of
+    per-state rows and is flattened.  ``n_states`` is explicit because the
+    canonical trim can leave ``sigma`` empty (the empty and epsilon
+    languages), where the row count is not recoverable from ``len(delta)``.
     """
 
-    __slots__ = ("sigma", "delta", "accepting", "back", "raw_states", "_index")
+    __slots__ = ("sigma", "delta", "accepting", "back", "n_states",
+                 "raw_states", "__weakref__")
 
     #: The start state (states are renumbered so it is always 0).
     initial = 0
 
-    def __init__(self, sigma, delta, accepting, back, raw_states):
-        object.__setattr__(self, "sigma", tuple(sigma))
-        object.__setattr__(self, "delta", tuple(tuple(row) for row in delta))
+    def __init__(self, sigma, delta, accepting, back, raw_states, n_states=None):
+        sigma = intern_sigma(sigma)
+        nsym = len(sigma)
+        if isinstance(delta, array):
+            flat_delta = delta
+            if n_states is None:
+                if nsym == 0:
+                    raise KmtError(
+                        "n_states is required for a flat delta over an empty alphabet"
+                    )
+                n_states = len(flat_delta) // nsym
+        else:
+            rows = [tuple(row) for row in delta]
+            n_states = len(rows)
+            flat_delta = array("i", (t for row in rows for t in row))
+        if len(flat_delta) != n_states * nsym:
+            raise KmtError(
+                f"delta length {len(flat_delta)} does not match "
+                f"{n_states} states x {nsym} symbols"
+            )
+        if isinstance(back, array):
+            flat_back = back
+        else:
+            flat_back = array("i")
+            for entry in back:
+                if entry is None:
+                    flat_back.extend((-1, -1))
+                else:
+                    flat_back.extend(entry)
+        if len(flat_back) != 2 * n_states:
+            raise KmtError(
+                f"back length {len(flat_back)} does not match {n_states} states"
+            )
+        object.__setattr__(self, "sigma", sigma)
+        object.__setattr__(self, "delta", flat_delta)
         object.__setattr__(self, "accepting", accepting)
-        object.__setattr__(self, "back", tuple(back))
+        object.__setattr__(self, "back", flat_back)
+        object.__setattr__(self, "n_states", n_states)
         object.__setattr__(self, "raw_states", raw_states)
-        object.__setattr__(
-            self, "_index", {pi: k for k, pi in enumerate(self.sigma)}
-        )
 
     def __setattr__(self, name, value):
         raise AttributeError(
@@ -96,33 +158,54 @@ class CompiledAutomaton:
         )
 
     def __delattr__(self, name):
-        self.__setattr__(name, None)
+        raise AttributeError(
+            f"CompiledAutomaton is immutable (attempted to delete {name!r}); "
+            "instances are shared through the engine's aut cache"
+        )
 
     # ------------------------------------------------------------------
     # structure
     # ------------------------------------------------------------------
     @property
     def state_count(self):
-        return len(self.delta)
+        return self.n_states
+
+    @property
+    def n_symbols(self):
+        return len(self.sigma)
+
+    @property
+    def nbytes(self):
+        """Heap bytes of the flat tables (delta + back + accepting bitset)."""
+        return (
+            self.delta.itemsize * len(self.delta)
+            + self.back.itemsize * len(self.back)
+            + (self.accepting.bit_length() + 7) // 8
+        )
 
     def __len__(self):
-        return len(self.delta)
+        return self.n_states
 
     def is_accepting(self, state):
         return state != _DEAD and bool((self.accepting >> state) & 1)
 
     def symbol_index(self, pi):
         """Position of a primitive action in the canonical order (None if absent)."""
-        return self._index.get(pi)
+        return sigma_index(self.sigma).get(pi)
+
+    def row(self, state):
+        """The successor row of one state (a memoryview slice, no copy)."""
+        nsym = len(self.sigma)
+        return memoryview(self.delta)[state * nsym:(state + 1) * nsym]
 
     def step(self, state, pi):
         """One transition; symbols outside the alphabet go to the dead sink."""
         if state == _DEAD:
             return _DEAD
-        k = self._index.get(pi)
+        k = sigma_index(self.sigma).get(pi)
         if k is None:
             return _DEAD
-        return self.delta[state][k]
+        return self.delta[state * len(self.sigma) + k]
 
     def __repr__(self):
         return (
@@ -145,12 +228,23 @@ class CompiledAutomaton:
     def accepts(self, word):
         """Word membership: does the automaton accept this sequence of
         primitive actions?  Unknown symbols fall into the dead sink."""
+        index = sigma_index(self.sigma)
+        nsym = len(self.sigma)
+        delta = self.delta
         state = self.initial
         for pi in word:
-            state = self.step(state, pi)
-            if state == _DEAD:
+            k = index.get(pi)
+            if k is None:
                 return False
-        return self.is_accepting(state)
+            state = delta[state * nsym + k]
+        return bool((self.accepting >> state) & 1)
+
+    def accepts_batch(self, words, cancel=None):
+        """Batched membership over many words (see
+        :func:`repro.core.kernels.accepts_batch`)."""
+        from repro.core.kernels import accepts_batch
+
+        return accepts_batch(self, words, cancel=cancel)
 
     def access_word(self, state):
         """A shortest word reaching ``state`` from the start state.
@@ -159,8 +253,10 @@ class CompiledAutomaton:
         nondecreasing distance, so the recorded path is shortest.
         """
         word = []
+        back = self.back
         while state != self.initial:
-            state, k = self.back[state]
+            k = back[2 * state + 1]
+            state = back[2 * state]
             word.append(self.sigma[k])
         word.reverse()
         return tuple(word)
@@ -185,16 +281,19 @@ class CompiledAutomaton:
 # ---------------------------------------------------------------------------
 
 
-def compile_automaton(action, cancel=None, minimize=True):
+def compile_automaton(action, cancel=None, minimize=True, pool=None):
     """Compile a restricted action into a :class:`CompiledAutomaton`.
 
     Runs one BFS over the action's Brzozowski derivatives (through the
     process-wide derivative memo, when installed), recording dense state ids,
     transition rows in canonical alphabet order, the accepting bitset and the
-    discovery back-pointers — then minimizes with Hopcroft's algorithm
-    (``minimize=False`` keeps the raw derivative automaton, for tests and the
-    minimization benchmark).  ``cancel`` is the usual cooperative-cancellation
-    callable, invoked once per explored state.
+    discovery back-pointers — then minimizes with Hopcroft's algorithm and
+    canonically trims dead symbols/sink (``minimize=False`` keeps the raw
+    derivative automaton, for tests and the minimization benchmark).
+    ``cancel`` is the usual cooperative-cancellation callable, invoked once
+    per explored state.  ``pool`` is an optional
+    :class:`repro.core.arena.ArenaPool` that adopts the finished automaton
+    for memory accounting (the engine threads its per-session pool here).
     """
     if not T.is_restricted(action):
         raise KmtError("compile_automaton expects a restricted action")
@@ -227,50 +326,97 @@ def compile_automaton(action, cancel=None, minimize=True):
         delta.append(row)
     raw_states = len(order)
     if not minimize:
-        return CompiledAutomaton(sigma, delta, accepting, back, raw_states)
-    trace = current_trace()
-    if trace is None:
-        return _minimized(sigma, delta, accepting, raw_states, cancel=cancel)
-    with trace.span("minimize"):
-        return _minimized(sigma, delta, accepting, raw_states, cancel=cancel)
+        automaton = CompiledAutomaton(sigma, delta, accepting, back, raw_states)
+    else:
+        trace = current_trace()
+        if trace is None:
+            automaton = _minimized(sigma, delta, accepting, raw_states, cancel=cancel)
+        else:
+            with trace.span("minimize"):
+                automaton = _minimized(
+                    sigma, delta, accepting, raw_states, cancel=cancel
+                )
+    if pool is not None:
+        pool.adopt(automaton)
+    return automaton
 
 
 def _minimized(sigma, delta, accepting, raw_states, cancel=None):
-    """Quotient a (complete, fully reachable) DFA by Hopcroft's partition."""
+    """Quotient a (complete, fully reachable) DFA by Hopcroft's partition,
+    then canonically trim dead symbols and (when unreachable) the dead sink.
+
+    The trim makes the result a canonical value of the language: a symbol is
+    *live* iff some quotient transition on it leaves the sink's equivalence
+    class, which (in a minimal DFA, where every non-sink state is reachable
+    and can reach an accepting state) holds exactly when the symbol occurs in
+    some accepted word — a property of the language, not of the syntactic
+    alphabet the normalizer happened to mention.  Dropping dead columns only
+    removes transitions into the sink, so membership semantics are unchanged
+    (unknown symbols already fall to the implicit dead sink).  After the
+    trim, the final BFS renumbering restores the IR invariants (state 0
+    initial, BFS discovery order over the trimmed canonical alphabet,
+    shortest-access back-pointers) and skips the sink when no live transition
+    reaches it — so equal languages yield byte-identical flat tables.
+    """
     n = len(delta)
-    block_of = _hopcroft(n, len(sigma), delta, accepting, cancel=cancel)
-    # Renumber the quotient automaton by a fresh BFS from the initial block,
-    # restoring the IR invariants (state 0 initial, BFS discovery order,
-    # shortest-access back-pointers).  Representatives suffice: states in one
-    # block agree on acceptance and on the blocks their successors fall in.
+    nsym = len(sigma)
+    block_of = _hopcroft(n, nsym, delta, accepting, cancel=cancel)
     rep_of_block = {}
     for state in range(n):
         rep_of_block.setdefault(block_of[state], state)
-    new_id = {block_of[0]: 0}
-    new_delta = []
-    new_back = [None]
+    # The (unique, if present) dead sink block: non-accepting, all self-loops.
+    sink_block = None
+    for block, rep in rep_of_block.items():
+        if (accepting >> rep) & 1:
+            continue
+        if all(block_of[delta[rep][k]] == block for k in range(nsym)):
+            sink_block = block
+            break
+    # Live symbols: some non-sink quotient state moves on them to a non-sink
+    # quotient state.  (With no sink block every symbol is live.)
+    if sink_block is None:
+        live = list(range(nsym))
+    else:
+        live = [
+            k
+            for k in range(nsym)
+            if any(
+                block_of[delta[rep][k]] != sink_block
+                for block, rep in rep_of_block.items()
+                if block != sink_block
+            )
+        ]
+    trimmed_sigma = tuple(sigma[k] for k in live)
+    # Renumber the quotient automaton by a fresh BFS from the initial block
+    # over the trimmed alphabet.  Representatives suffice: states in one
+    # block agree on acceptance and on the blocks their successors fall in.
+    start_block = block_of[0]
+    new_id = {start_block: 0}
+    order = [start_block]
+    new_delta = array("i")
+    new_back = array("i", (-1, -1))
     new_accepting = 0
-    queue = deque([block_of[0]])
-    order = [block_of[0]]
+    queue = deque([start_block])
     while queue:
         block = queue.popleft()
         rep = rep_of_block[block]
         sid = new_id[block]
         if (accepting >> rep) & 1:
             new_accepting |= 1 << sid
-        row = []
-        for k in range(len(sigma)):
+        for j, k in enumerate(live):
             succ_block = block_of[delta[rep][k]]
             nid = new_id.get(succ_block)
             if nid is None:
                 nid = len(order)
                 new_id[succ_block] = nid
                 order.append(succ_block)
-                new_back.append((sid, k))
+                new_back.extend((sid, j))
                 queue.append(succ_block)
-            row.append(nid)
-        new_delta.append(row)
-    return CompiledAutomaton(sigma, new_delta, new_accepting, new_back, raw_states)
+            new_delta.append(nid)
+    return CompiledAutomaton(
+        trimmed_sigma, new_delta, new_accepting, new_back, raw_states,
+        n_states=len(order),
+    )
 
 
 def _hopcroft(n, nsym, delta, accepting, cancel=None):
@@ -340,23 +486,21 @@ def _hopcroft(n, nsym, delta, accepting, cancel=None):
 
 
 # ---------------------------------------------------------------------------
-# product walks
+# product walks (the legacy kernel — pair-at-a-time FIFO BFS)
 # ---------------------------------------------------------------------------
 
 
 def _merged_sigma(a, b):
     """The two automata's alphabets merged in canonical order, plus the
     per-automaton symbol-index maps (``_DEAD`` marks an absent symbol)."""
+    index_a = sigma_index(a.sigma)
+    index_b = sigma_index(b.sigma)
     if a.sigma == b.sigma:
         merged = a.sigma
     else:
         merged = tuple(sorted(set(a.sigma) | set(b.sigma), key=repr))
-    map_a = tuple(
-        a._index[pi] if pi in a._index else _DEAD for pi in merged
-    )
-    map_b = tuple(
-        b._index[pi] if pi in b._index else _DEAD for pi in merged
-    )
+    map_a = tuple(index_a.get(pi, _DEAD) for pi in merged)
+    map_b = tuple(index_b.get(pi, _DEAD) for pi in merged)
     return merged, map_a, map_b
 
 
@@ -377,6 +521,10 @@ def _product_search(a, b, mismatch, cancel=None):
 
 def _product_search_untraced(a, b, mismatch, cancel):
     merged, map_a, map_b = _merged_sigma(a, b)
+    nsa = len(a.sigma)
+    nsb = len(b.sigma)
+    da = a.delta
+    db = b.delta
     start = (a.initial, b.initial)
     seen = {start}
     queue = deque([((), a.initial, b.initial)])
@@ -388,8 +536,8 @@ def _product_search_untraced(a, b, mismatch, cancel):
             return False, word
         for k, pi in enumerate(merged):
             ka, kb = map_a[k], map_b[k]
-            dp = _DEAD if (p == _DEAD or ka == _DEAD) else a.delta[p][ka]
-            dq = _DEAD if (q == _DEAD or kb == _DEAD) else b.delta[q][kb]
+            dp = _DEAD if (p == _DEAD or ka == _DEAD) else da[p * nsa + ka]
+            dq = _DEAD if (q == _DEAD or kb == _DEAD) else db[q * nsb + kb]
             if dp == _DEAD and dq == _DEAD:
                 continue  # joint dead sink: nothing past here can mismatch
             if (dp, dq) not in seen:
@@ -406,6 +554,10 @@ def compiled_compare(a, b, cancel=None):
     :func:`repro.core.automata.language_compare`, which only promises *a*
     distinguishing word.  No state bound is needed: both automata are finite
     and the product has at most ``|a| * |b|`` live pairs.
+
+    This is the legacy walk; the default decision path uses the batched flat
+    kernel (:func:`repro.core.kernels.flat_compare`), which must produce
+    byte-identical verdicts and witnesses.
     """
     if a is b:
         return True, None  # cached automata are shared objects; reflexivity
@@ -418,5 +570,7 @@ def compiled_includes(a, b, cancel=None):
     Containment via product emptiness: ``L(a) ⊆ L(b)`` iff no reachable
     product pair accepts on the left while rejecting on the right.  The
     witness, when present, is a shortest word in ``L(a) \\ L(b)``.
+
+    Legacy walk; flat analogue: :func:`repro.core.kernels.flat_includes`.
     """
     return _product_search(a, b, lambda pa, qb: pa and not qb, cancel=cancel)

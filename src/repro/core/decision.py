@@ -86,6 +86,7 @@ from repro.core.automata import (
     nullable,
 )
 from repro.core.compile import compile_automaton, compiled_compare, compiled_includes
+from repro.core.kernels import accepts_batch, flat_compare, flat_includes
 from repro.core.pushback import DEFAULT_BUDGET, Normalizer
 from repro.smt.dpll import SignatureSearchStats, enumerate_signatures
 from repro.smt.literals import evaluate
@@ -93,6 +94,13 @@ from repro.utils.trace import current_trace
 
 #: Valid values for the ``cell_search`` option of :class:`EquivalenceChecker`.
 CELL_SEARCH_MODES = ("signature", "enumerate")
+
+#: Valid values for the ``walk_kernel`` option of :class:`EquivalenceChecker`:
+#: ``"flat"`` (default) runs comparisons through the batched flat-table
+#: kernels of :mod:`repro.core.kernels`; ``"legacy"`` keeps the
+#: pair-at-a-time product walk of :mod:`repro.core.compile` as the
+#: differential/ablation oracle.  Irrelevant under ``use_compiled=False``.
+WALK_KERNELS = ("flat", "legacy")
 
 _CACHE_MISS = object()
 
@@ -281,13 +289,25 @@ class EquivalenceChecker:
     ``language_compare`` path, kept as the differential/ablation baseline.
     ``states_compiled`` counts the raw derivative states explored by this
     checker's compilations (cache hits compile nothing).
+
+    ``walk_kernel`` selects how the compiled product walks run: ``"flat"``
+    (default) uses the batched flat-table kernels
+    (:mod:`repro.core.kernels` — canonical-equality fast path plus the
+    level-synchronous vectorized BFS, numpy-accelerated when importable);
+    ``"legacy"`` keeps the pair-at-a-time FIFO walk of
+    :mod:`repro.core.compile` as the differential/ablation oracle.  Both
+    produce byte-identical verdicts and witness words.
     """
 
     def __init__(self, theory, budget=DEFAULT_BUDGET, prune_unsat_cells=True, caches=None,
-                 cell_search="signature", use_compiled=True):
+                 cell_search="signature", use_compiled=True, walk_kernel="flat"):
         if cell_search not in CELL_SEARCH_MODES:
             raise ValueError(
                 f"cell_search must be one of {CELL_SEARCH_MODES}, got {cell_search!r}"
+            )
+        if walk_kernel not in WALK_KERNELS:
+            raise ValueError(
+                f"walk_kernel must be one of {WALK_KERNELS}, got {walk_kernel!r}"
             )
         self.theory = theory
         self.budget = budget
@@ -295,6 +315,7 @@ class EquivalenceChecker:
         self.caches = caches
         self.cell_search = cell_search
         self.use_compiled = use_compiled
+        self.walk_kernel = walk_kernel
         self.states_compiled = 0
         self._sat_memo = {}
         self._compare_memo = {}
@@ -467,6 +488,44 @@ class EquivalenceChecker:
                 return True
         return False
 
+    def member_nf_many(self, x, words, cancel=None):
+        """Batched membership: judge many words against one normal form.
+
+        Returns a list of bools aligned with ``words`` — elementwise
+        identical to ``[self.member_nf(x, w) for w in words]``, but each
+        summand's compiled automaton judges every still-undecided word in a
+        single :func:`repro.core.kernels.accepts_batch` call (words already
+        accepted by an earlier summand are not re-tested).  Under
+        ``walk_kernel="legacy"`` or ``use_compiled=False`` the per-word
+        oracles run in a loop, keeping the batched entry point available as
+        an ablation.
+        """
+        words = [tuple(word) for word in words]
+        verdicts = [False] * len(words)
+        pending = list(range(len(words)))
+        for test, action in x.sorted_pairs():
+            if not pending:
+                break
+            if not self._satisfiable_pred(test):
+                continue
+            subset = [words[i] for i in pending]
+            if self.use_compiled:
+                automaton = self._compile_cached(action, cancel)
+                if self.walk_kernel == "flat":
+                    accepted = accepts_batch(automaton, subset, cancel=cancel)
+                else:
+                    accepted = [automaton.accepts(word) for word in subset]
+            else:
+                accepted = [_derivative_accepts(action, word) for word in subset]
+            still = []
+            for i, ok in zip(pending, accepted):
+                if ok:
+                    verdicts[i] = True
+                else:
+                    still.append(i)
+            pending = still
+        return verdicts
+
     # ------------------------------------------------------------------
     # compiled-automaton plumbing
     # ------------------------------------------------------------------
@@ -481,20 +540,22 @@ class EquivalenceChecker:
         caches = self.caches
         memo = self._aut_memo
         key = action
+        pool = None
         if caches is not None:
             aut = getattr(caches, "aut", None)
             if aut is not None:
                 memo = aut
                 key = caches.term_key(action)
+            pool = getattr(caches, "arenas", None)
         cached = _memo_get(memo, key)
         if cached is not _CACHE_MISS:
             return cached
         trace = current_trace()
         if trace is None:
-            automaton = compile_automaton(action, cancel=cancel)
+            automaton = compile_automaton(action, cancel=cancel, pool=pool)
         else:
             with trace.span("compile"):
-                automaton = compile_automaton(action, cancel=cancel)
+                automaton = compile_automaton(action, cancel=cancel, pool=pool)
         self.states_compiled += automaton.raw_states
         _memo_put(memo, key, automaton)
         return automaton
@@ -510,10 +571,15 @@ class EquivalenceChecker:
         """
         memo = self._signature_memo()
         base_key = self._signature_key()
+        compare_kernel, includes_kernel = (
+            (flat_compare, flat_includes)
+            if self.walk_kernel == "flat"
+            else (compiled_compare, compiled_includes)
+        )
         if kind == "incl":
             if self.use_compiled:
                 def run(left, right):
-                    return compiled_includes(
+                    return includes_kernel(
                         self._compile_cached(left, cancel),
                         self._compile_cached(right, cancel),
                         cancel=cancel,
@@ -530,7 +596,7 @@ class EquivalenceChecker:
             )
         if self.use_compiled:
             def run(left, right):
-                return compiled_compare(
+                return compare_kernel(
                     self._compile_cached(left, cancel),
                     self._compile_cached(right, cancel),
                     cancel=cancel,

@@ -26,13 +26,13 @@ class KMT:
     """A Kleene algebra modulo the given client theory."""
 
     def __init__(self, theory, budget=DEFAULT_BUDGET, prune_unsat_cells=True, caches=None,
-                 cell_search="signature", use_compiled=True):
+                 cell_search="signature", use_compiled=True, walk_kernel="flat"):
         self.theory = theory
         self.budget = budget
         self.caches = caches
         self.checker = EquivalenceChecker(
             theory, budget=budget, prune_unsat_cells=prune_unsat_cells, caches=caches,
-            cell_search=cell_search, use_compiled=use_compiled,
+            cell_search=cell_search, use_compiled=use_compiled, walk_kernel=walk_kernel,
         )
         theory.attach(self)
 
@@ -108,6 +108,21 @@ class KMT:
         """
         term = self._coerce_term(term)
         return self.checker.member_nf(self.checker.normalize(term), self._coerce_word(word))
+
+    def member_many(self, term, words):
+        """Batched membership: judge many words against one term in one call.
+
+        Each element of ``words`` follows :meth:`member`'s word forms.
+        Returns a list of bools aligned with ``words``; the term is
+        normalized once and every summand automaton judges all
+        still-undecided words together
+        (:meth:`EquivalenceChecker.member_nf_many`).
+        """
+        term = self._coerce_term(term)
+        nf = self.checker.normalize(term)
+        return self.checker.member_nf_many(
+            nf, [self._coerce_word(word) for word in words]
+        )
 
     def is_empty(self, p):
         """Decide whether ``p`` denotes no traces (``p == 0``)."""

@@ -477,10 +477,11 @@ class SessionPool:
     """
 
     def __init__(self, budget=DEFAULT_BUDGET, prune_unsat_cells=True, cell_search="signature",
-                 theory_factory=None):
+                 theory_factory=None, walk_kernel="flat"):
         self.budget = budget
         self.prune_unsat_cells = prune_unsat_cells
         self.cell_search = cell_search
+        self.walk_kernel = walk_kernel
         self.theory_factory = build_theory if theory_factory is None else theory_factory
         self._sessions = {}
         self._lock = threading.Lock()
@@ -497,6 +498,7 @@ class SessionPool:
         session = EngineSession(
             self.theory_factory(key), budget=self.budget,
             prune_unsat_cells=self.prune_unsat_cells, cell_search=self.cell_search,
+            walk_kernel=self.walk_kernel,
         )
         with self._lock:
             return self._sessions.setdefault(key, session)
@@ -529,21 +531,27 @@ class BatchRunner:
     """Parse, group and execute a JSONL batch on a session pool."""
 
     def __init__(self, pool=None, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, jobs=None,
-                 cell_search=None, slow_query_ms=None):
-        # ``cell_search=None`` means "whatever the pool uses" — an explicit
-        # value must not be silently ignored when a caller also passes a pool
-        # built with a different strategy.
+                 cell_search=None, slow_query_ms=None, walk_kernel=None):
+        # ``cell_search=None`` / ``walk_kernel=None`` mean "whatever the pool
+        # uses" — an explicit value must not be silently ignored when a caller
+        # also passes a pool built with a different strategy.
         if pool is not None:
             if cell_search is not None and cell_search != pool.cell_search:
                 raise ValueError(
                     f"cell_search={cell_search!r} conflicts with the supplied "
                     f"pool's cell_search={pool.cell_search!r}"
                 )
+            if walk_kernel is not None and walk_kernel != pool.walk_kernel:
+                raise ValueError(
+                    f"walk_kernel={walk_kernel!r} conflicts with the supplied "
+                    f"pool's walk_kernel={pool.walk_kernel!r}"
+                )
             self.pool = pool
         else:
             self.pool = SessionPool(
                 budget=budget,
                 cell_search="signature" if cell_search is None else cell_search,
+                walk_kernel="flat" if walk_kernel is None else walk_kernel,
             )
         self.default_theory = default_theory
         self.jobs = jobs
@@ -670,15 +678,15 @@ class BatchRunner:
 
 
 def run_batch_lines(lines, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET,
-                    jobs=None, pool=None, cell_search=None):
+                    jobs=None, pool=None, cell_search=None, walk_kernel=None):
     """Convenience wrapper: run a batch, return ``(responses, pool)``."""
     runner = BatchRunner(pool=pool, default_theory=default_theory, budget=budget, jobs=jobs,
-                         cell_search=cell_search)
+                         cell_search=cell_search, walk_kernel=walk_kernel)
     return runner.run_lines(lines), runner.pool
 
 
 def serve(stdin, stdout, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, pool=None,
-          cell_search=None, slow_query_ms=None):
+          cell_search=None, slow_query_ms=None, walk_kernel=None):
     """The blocking one-at-a-time serve loop (see also :mod:`repro.engine.server`).
 
     One JSON request per stdin line, one answer per line, strictly in order;
@@ -697,7 +705,8 @@ def serve(stdin, stdout, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, p
     the single-threaded baseline for ``benchmarks/bench_serve.py``.
     """
     runner = BatchRunner(pool=pool, default_theory=default_theory, budget=budget, jobs=1,
-                         cell_search=cell_search, slow_query_ms=slow_query_ms)
+                         cell_search=cell_search, slow_query_ms=slow_query_ms,
+                         walk_kernel=walk_kernel)
     served = 0
     for lineno, raw in enumerate(stdin):
         kind, payload = parse_request_line(raw)

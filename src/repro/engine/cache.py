@@ -16,6 +16,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+from repro.core.arena import ArenaPool
 from repro.engine.intern import fingerprint, fingerprint_normal_form
 
 _MISS = object()
@@ -171,6 +172,11 @@ class EngineCaches:
         self.sig = LRUCache(sig_size, name="sig")
         self.aut = LRUCache(aut_size, name="aut")
         self.deriv = DERIVATIVE_CACHE if deriv is None else deriv
+        # The per-session arena pool: compile_automaton adopts every automaton
+        # it builds for this bundle, so ``aut_bytes`` reports the flat-table
+        # footprint of whatever the aut LRU still retains (weak tracking — the
+        # LRU's eviction policy stays the sole owner of automata lifetime).
+        self.arenas = ArenaPool()
 
     # -- key builders (duck-typed interface used by repro.core.decision) ----
     def term_key(self, term):
@@ -213,7 +219,8 @@ class EngineCaches:
             "hits": sum(cache.stats.hits for cache in caches),
             "misses": sum(cache.stats.misses for cache in caches),
         }
-        return {"tables": per_table, "totals": totals}
+        return {"tables": per_table, "totals": totals,
+                "aut_bytes": self.arenas.aut_bytes}
 
     def clear(self):
         """Drop this bundle's tables.

@@ -167,13 +167,14 @@ class ShardedSessionPool:
     """
 
     def __init__(self, stripes=4, budget=DEFAULT_BUDGET, prune_unsat_cells=True,
-                 cell_search="signature", theory_factory=None):
+                 cell_search="signature", theory_factory=None, walk_kernel="flat"):
         if stripes < 1:
             raise ValueError(f"stripes must be at least 1, got {stripes}")
         self.stripes = stripes
         self.budget = budget
         self.prune_unsat_cells = prune_unsat_cells
         self.cell_search = cell_search
+        self.walk_kernel = walk_kernel
         self.theory_factory = build_theory if theory_factory is None else theory_factory
         self._sessions = {}  # (theory_name, stripe) -> EngineSession
         self._lock = threading.Lock()
@@ -189,6 +190,7 @@ class ShardedSessionPool:
         session = EngineSession(
             self.theory_factory(key[0]), budget=self.budget,
             prune_unsat_cells=self.prune_unsat_cells, cell_search=self.cell_search,
+            walk_kernel=self.walk_kernel,
         )
         with self._lock:
             return self._sessions.setdefault(key, session)
@@ -220,6 +222,9 @@ class ShardedSessionPool:
                 "queries": sum(block["session"]["queries"] for block in blocks),
                 "states_compiled": sum(
                     block["session"].get("states_compiled", 0) for block in blocks
+                ),
+                "aut_bytes": sum(
+                    block["session"].get("aut_bytes", 0) for block in blocks
                 ),
                 "tables": tables,
                 "totals": {
@@ -315,12 +320,13 @@ def merge_pool_stats(blocks):
                 continue
             agg = out.setdefault(
                 name,
-                {"stripes": 0, "queries": 0, "states_compiled": 0, "tables": {},
-                 "totals": {"hits": 0, "misses": 0}},
+                {"stripes": 0, "queries": 0, "states_compiled": 0, "aut_bytes": 0,
+                 "tables": {}, "totals": {"hits": 0, "misses": 0}},
             )
             agg["stripes"] += theory_block.get("stripes", 0)
             agg["queries"] += theory_block.get("queries", 0)
             agg["states_compiled"] += theory_block.get("states_compiled", 0)
+            agg["aut_bytes"] += theory_block.get("aut_bytes", 0)
             _merge_cache_tables(agg["tables"], theory_block.get("tables", {}))
             for counter in ("hits", "misses"):
                 agg["totals"][counter] += theory_block.get("totals", {}).get(counter, 0)
@@ -403,6 +409,7 @@ def _process_worker_main(conn, config):
         prune_unsat_cells=config["prune_unsat_cells"],
         cell_search=config["cell_search"],
         theory_factory=resolve_theory_factory(config["theory_factory_spec"]),
+        walk_kernel=config.get("walk_kernel", "flat"),
     )
     default_theory = config["default_theory"]
     worker_label = str(config.get("worker_index", ""))
@@ -622,7 +629,7 @@ class ProcessExecutionBackend:
 
     def __init__(self, workers, stripes, budget=DEFAULT_BUDGET, prune_unsat_cells=True,
                  cell_search="signature", default_theory=DEFAULT_THEORY,
-                 theory_factory_spec=None, start_method="spawn"):
+                 theory_factory_spec=None, start_method="spawn", walk_kernel="flat"):
         if theory_factory_spec is not None:
             # Fail fast in the parent on a bad spec instead of crash-looping
             # every worker at spawn.
@@ -635,6 +642,7 @@ class ProcessExecutionBackend:
             "cell_search": cell_search,
             "default_theory": default_theory,
             "theory_factory_spec": theory_factory_spec,
+            "walk_kernel": walk_kernel,
         }
         self._ctx = multiprocessing.get_context(start_method)
         self._handles = []
@@ -861,7 +869,7 @@ class QueryServer:
     def __init__(self, workers=4, stripes=None, queue_limit=128, default_theory=DEFAULT_THEORY,
                  budget=DEFAULT_BUDGET, cell_search="signature", theory_factory=None, pool=None,
                  backend="thread", theory_factory_spec=None, start_method="spawn",
-                 slow_query_ms=None, enable_metrics=True):
+                 slow_query_ms=None, enable_metrics=True, walk_kernel="flat"):
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
         if queue_limit < 1:
@@ -891,6 +899,7 @@ class QueryServer:
                 workers=workers, stripes=self.stripes, budget=budget,
                 cell_search=cell_search, default_theory=default_theory,
                 theory_factory_spec=theory_factory_spec, start_method=start_method,
+                walk_kernel=walk_kernel,
             )
         else:
             if theory_factory is not None and theory_factory_spec is not None:
@@ -904,7 +913,7 @@ class QueryServer:
             else:
                 self.pool = ShardedSessionPool(
                     stripes=self.stripes, budget=budget, cell_search=cell_search,
-                    theory_factory=theory_factory,
+                    theory_factory=theory_factory, walk_kernel=walk_kernel,
                 )
             self.backend = ThreadExecutionBackend(self.pool, default_theory)
         if slow_query_ms is not None and slow_query_ms < 0:
@@ -1317,7 +1326,8 @@ class QueryServer:
 
 def serve_stdio(stdin, stdout, workers=4, stripes=None, queue_limit=128, ordered=False,
                 default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, cell_search="signature",
-                theory_factory=None, server=None, backend="thread", theory_factory_spec=None):
+                theory_factory=None, server=None, backend="thread", theory_factory_spec=None,
+                walk_kernel="flat"):
     """Serve the JSONL protocol from ``stdin`` to ``stdout`` concurrently.
 
     The drop-in concurrent replacement for :func:`repro.engine.batch.serve`:
@@ -1336,7 +1346,8 @@ def serve_stdio(stdin, stdout, workers=4, stripes=None, queue_limit=128, ordered
         server = QueryServer(workers=workers, stripes=stripes, queue_limit=queue_limit,
                              default_theory=default_theory, budget=budget,
                              cell_search=cell_search, theory_factory=theory_factory,
-                             backend=backend, theory_factory_spec=theory_factory_spec)
+                             backend=backend, theory_factory_spec=theory_factory_spec,
+                             walk_kernel=walk_kernel)
     server.start()
     sink = ResponseSink(
         lambda line: (stdout.write(line + "\n"), stdout.flush()), ordered=ordered)

@@ -36,7 +36,7 @@ class EngineSession:
     """A persistent, cache-backed query engine for one client theory."""
 
     def __init__(self, theory, budget=DEFAULT_BUDGET, prune_unsat_cells=True, caches=None,
-                 cell_search="signature"):
+                 cell_search="signature", walk_kernel="flat"):
         intern.install()
         self.caches = caches if caches is not None else EngineCaches()
         # The automata memo is a process-wide slot.  Only the *shared* table is
@@ -49,7 +49,7 @@ class EngineSession:
             automata.set_derivative_cache(DERIVATIVE_CACHE)
         self.kmt = KMT(
             theory, budget=budget, prune_unsat_cells=prune_unsat_cells, caches=self.caches,
-            cell_search=cell_search,
+            cell_search=cell_search, walk_kernel=walk_kernel,
         )
         self.theory = theory
         self.budget = budget
@@ -171,6 +171,18 @@ class EngineSession:
         nf = self._normalize_cached(term, cancel=cancel)
         return self.kmt.checker.member_nf(nf, pis, cancel=cancel)
 
+    def member_many(self, term, words, cancel=None):
+        """Batched membership: many words against one term, normalized once.
+
+        Returns a list of bools aligned with ``words``; each summand's cached
+        automaton judges every still-undecided word in a single batched
+        kernel call (:meth:`EquivalenceChecker.member_nf_many`).
+        """
+        self.queries += 1
+        pis = [self.kmt._coerce_word(word) for word in words]
+        nf = self._normalize_cached(term, cancel=cancel)
+        return self.kmt.checker.member_nf_many(nf, pis, cancel=cancel)
+
     def is_empty(self, p, cancel=None):
         self.queries += 1
         return self.kmt.checker.is_empty_nf(self._normalize_cached(p, cancel=cancel),
@@ -205,6 +217,9 @@ class EngineSession:
             # Raw derivative states explored by automaton compilation; aut
             # cache hits compile nothing, so a warm session's counter stalls.
             "states_compiled": self.kmt.checker.states_compiled,
+            # Live flat-table bytes of this session's compiled automata
+            # (tracked by the arena pool; falls as the aut LRU evicts).
+            "aut_bytes": self.caches.arenas.aut_bytes,
             "pb_star_memo": len(self._normalizer._pb_star_cache),
             "pb_prim_memo": len(self._normalizer._pb_prim_cache),
         }

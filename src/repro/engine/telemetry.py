@@ -7,9 +7,13 @@ Three layers, one module:
    importing the engine package); this module re-exports it.  A request
    carrying ``"trace": true`` gets a ``trace`` block in its response with the
    per-phase self-time breakdown (``normalize`` / ``signatures`` / ``compile``
-   / ``compare`` / ``product_walk`` / ``minimize``), the individual spans,
-   per-table cache hit/miss deltas, and — from the query server — ``queue_ms``
-   and ``total_ms`` stamped by the scheduler.  See
+   / ``compare`` / ``product_walk`` / ``minimize`` / ``kernel``), the
+   individual spans, per-table cache hit/miss deltas, and — from the query
+   server — ``queue_ms`` and ``total_ms`` stamped by the scheduler.  The
+   ``kernel`` phase covers the batched flat-table walks of
+   :mod:`repro.core.kernels`, which also tally free-form ``counters``
+   (``kernel_fastpath_hits``, ``kernel_levels``, ``kernel_pairs``,
+   ``kernel_batch_words``, ``kernel_walk_fallbacks``) in the trace block.  See
    :func:`repro.engine.batch.run_query` for activation and
    :class:`repro.engine.server.QueryServer` for the scheduler half.
 

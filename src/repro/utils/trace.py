@@ -3,8 +3,8 @@
 This lives in :mod:`repro.utils` — not :mod:`repro.engine.telemetry`, which is
 the telemetry subsystem's public home and re-exports everything here — because
 the *instrumentation points* sit in the core (:mod:`repro.core.decision`,
-:mod:`repro.core.compile`) and the core must stay importable without the
-engine package.
+:mod:`repro.core.compile`, :mod:`repro.core.kernels`) and the core must stay
+importable without the engine package.
 
 Design constraints, in order:
 

@@ -54,8 +54,11 @@ class TestCompileStructure:
     def test_initial_state_is_zero_and_transitions_dense(self):
         aut = compile_automaton(T.tseq(A, B))
         assert aut.initial == 0
-        assert len(aut.delta) == aut.state_count
-        for row in aut.delta:
+        # Flat arena layout: one contiguous row-major int table.
+        assert len(aut.delta) == aut.state_count * len(aut.sigma)
+        assert len(aut.back) == 2 * aut.state_count
+        for state in range(aut.state_count):
+            row = aut.row(state)
             assert len(row) == len(aut.sigma)
             for target in row:
                 assert 0 <= target < aut.state_count
@@ -91,9 +94,10 @@ class TestCompileStructure:
 
     def test_immutable(self):
         aut = compile_automaton(A)
-        with pytest.raises(AttributeError):
+        with pytest.raises(AttributeError, match="attempted to set"):
             aut.sigma = ()
-        with pytest.raises(AttributeError):
+        # Deletion must report a deletion, not claim an attempted set.
+        with pytest.raises(AttributeError, match="attempted to delete"):
             del aut.accepting
 
     def test_cancel_hook_fires(self):

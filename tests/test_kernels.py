@@ -1,0 +1,495 @@
+"""Tests for the flat-arena batched kernels (:mod:`repro.core.kernels`).
+
+Covers, layer by layer:
+
+* the seeded kernel differential required by the acceptance criteria: 200
+  pairs **per theory** (incnat, bitvec, sets) holding ``flat_compare`` /
+  ``flat_includes`` to *identical verdicts and identical shortest witness
+  words* against the legacy tuple walk, with the derivative
+  ``language_compare`` as verdict oracle and ``accepts_word`` validating
+  every witness — plus a forced pure-Python run proving the no-numpy
+  fallback keeps the same contract;
+* cooperative cancellation checkpoints inside the batched kernels (the
+  vectorized level BFS, the legacy-walk fallback, and both
+  ``accepts_batch`` paths);
+* ``accepts_batch`` parity with the scalar ``accepts`` loop across batch
+  sizes, unknown symbols, and the empty word;
+* the ``kernel`` trace phase and its counters;
+* the arena layer: process-wide sigma interning, ``ArenaPool`` weak
+  tracking, and ``aut_bytes`` in every stats aggregation (session, sharded
+  pool, merged worker blocks);
+* batched membership end to end (``member_nf_many`` → ``KMT.member_many``
+  → ``EngineSession.member_many``) against the scalar path on every
+  kernel/compile configuration;
+* the ``walk_kernel`` plumbing: validation, end-to-end flat/legacy
+  agreement through the full decision procedure, the pool/runner conflict
+  check, and the CLI flag.
+
+The vectorized BFS only engages above ``_BFS_NUMPY_MIN_PAIRS`` product
+codes in production (small walks are faster pair-at-a-time); the
+differential tests monkeypatch that floor to 0 so the random small automata
+genuinely exercise the numpy path when numpy is importable.
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+
+import pytest
+
+from repro import cli
+from repro.core import kernels
+from repro.core import terms as T
+from repro.core.arena import ArenaPool, intern_sigma, sigma_index
+from repro.core.automata import language_compare
+from repro.core.compile import compile_automaton, compiled_compare, compiled_includes
+from repro.core.decision import WALK_KERNELS, EquivalenceChecker
+from repro.core.kernels import accepts_batch, flat_compare, flat_includes
+from repro.core.kmt import KMT
+from repro.core.regexes import accepts_word
+from repro.engine.batch import BatchRunner, SessionPool
+from repro.engine.server import ShardedSessionPool, merge_pool_stats
+from repro.engine.session import EngineSession
+from repro.theories.bitvec import BitVecTheory, BoolAssign
+from repro.theories.incnat import AssignNat, IncNatTheory, Incr
+from repro.theories.sets import SetAdd
+from repro.utils.errors import QueryCancelled
+from repro.utils.trace import Trace, activate, deactivate
+
+#: Acceptance criterion: >= 200 seeded pairs per theory.
+KERNEL_PAIRS = 200
+
+A = T.tprim(BoolAssign("a", True))
+B = T.tprim(BoolAssign("b", True))
+PI_A = BoolAssign("a", True)
+
+
+# ---------------------------------------------------------------------------
+# random action-term generators (restricted actions: no tests, per theory)
+# ---------------------------------------------------------------------------
+
+
+def _bitvec_action(rng):
+    return BoolAssign(rng.choice(("a", "b", "c")), rng.random() < 0.5)
+
+
+def _incnat_action(rng):
+    if rng.random() < 0.6:
+        return Incr(rng.choice(("x", "y")))
+    return AssignNat(rng.choice(("x", "y")), rng.randint(0, 4))
+
+
+def _sets_action(rng):
+    if rng.random() < 0.7:
+        expr = "i" if rng.random() < 0.4 else rng.randint(0, 2)
+        return SetAdd(rng.choice(("X", "Y")), expr)
+    return Incr("i")
+
+
+def _random_action_term(rng, action_leaf, depth):
+    roll = rng.random()
+    if depth <= 0 or roll < 0.35:
+        r = rng.random()
+        if r < 0.08:
+            return T.tone()
+        if r < 0.13:
+            return T.tzero()
+        return T.tprim(action_leaf(rng))
+    if roll < 0.45:
+        return T.tstar(_random_action_term(rng, action_leaf, depth - 1))
+    if roll < 0.75:
+        return T.tseq(
+            _random_action_term(rng, action_leaf, depth - 1),
+            _random_action_term(rng, action_leaf, depth - 1),
+        )
+    return T.tplus(
+        _random_action_term(rng, action_leaf, depth - 1),
+        _random_action_term(rng, action_leaf, depth - 1),
+    )
+
+
+def _equivalent_variant(rng, p, q):
+    """Pairs provably equivalent by a KA law (not always syntactically so)."""
+    choice = rng.randrange(4)
+    if choice == 0:
+        return p, T.tplus(p, p)
+    if choice == 1:
+        return p, T.tseq(p, T.tone())
+    if choice == 2:
+        return T.tstar(p), T.tplus(T.tone(), T.tseq(p, T.tstar(p)))
+    return T.tplus(p, q), T.tplus(q, p)
+
+
+def _run_kernel_differential(action_leaf, seed, pairs):
+    """Hold flat vs legacy to tuple equality (verdict AND witness word) over
+    ``pairs`` seeded random automaton pairs, with the derivative oracle on
+    verdicts and one-sidedness checks on every witness."""
+    rng = random.Random(seed)
+    compared = inequivalent = equivalent = attempts = 0
+    while compared < pairs:
+        attempts += 1
+        assert attempts < pairs * 20, "too many generation attempts"
+        p = _random_action_term(rng, action_leaf, depth=3)
+        q = _random_action_term(rng, action_leaf, depth=3)
+        if rng.random() < 0.45:
+            p, q = _equivalent_variant(rng, p, q)
+        a, b = compile_automaton(p), compile_automaton(q)
+        legacy_eq = compiled_compare(a, b)
+        flat_eq = flat_compare(a, b)
+        assert flat_eq == legacy_eq, f"compare mismatch on {p!r} vs {q!r}"
+        assert legacy_eq[0] == language_compare(p, q)[0], \
+            f"derivative oracle disagrees on {p!r} vs {q!r}"
+        legacy_inc = compiled_includes(a, b)
+        flat_inc = flat_includes(a, b)
+        assert flat_inc == legacy_inc, f"includes mismatch on {p!r} vs {q!r}"
+        if legacy_eq[0]:
+            equivalent += 1
+            assert legacy_inc == (True, None)
+        else:
+            inequivalent += 1
+            word = flat_eq[1]
+            assert accepts_word(p, word) != accepts_word(q, word)
+            if not flat_inc[0]:
+                witness = flat_inc[1]
+                assert accepts_word(p, witness) and not accepts_word(q, witness)
+        compared += 1
+    assert inequivalent >= 10 and equivalent >= 10  # both verdicts exercised
+
+
+class TestKernelDifferential:
+    @pytest.fixture(autouse=True)
+    def _engage_vectorized_bfs(self, monkeypatch):
+        # Production routes small products to the legacy walk; force the
+        # vectorized BFS (when numpy is importable) so these pairs actually
+        # differentiate it.  Without numpy the run is the pure fallback —
+        # the contract under test is identical either way.
+        monkeypatch.setattr(kernels, "_BFS_NUMPY_MIN_PAIRS", 0)
+
+    def test_bitvec_differential(self):
+        _run_kernel_differential(_bitvec_action, seed=20260807, pairs=KERNEL_PAIRS)
+
+    def test_incnat_differential(self):
+        _run_kernel_differential(_incnat_action, seed=20260808, pairs=KERNEL_PAIRS)
+
+    def test_sets_differential(self):
+        _run_kernel_differential(_sets_action, seed=20260809, pairs=KERNEL_PAIRS)
+
+    def test_forced_pure_python_fallback(self, monkeypatch):
+        """Same contract with numpy hidden (what the no-numpy CI lane runs)."""
+        monkeypatch.setattr(kernels, "_np", None)
+        _run_kernel_differential(_bitvec_action, seed=20260810, pairs=60)
+
+
+# ---------------------------------------------------------------------------
+# cooperative cancellation inside the batched kernels
+# ---------------------------------------------------------------------------
+
+
+def _ticking_cancel(limit):
+    calls = []
+
+    def cancel():
+        calls.append(1)
+        if len(calls) >= limit:
+            raise QueryCancelled("deadline")
+
+    return cancel
+
+
+def _deep_chain_pair(n):
+    """``a^n`` vs ``a^(n+1)``: inequivalent with the witness ``n`` levels deep,
+    so the BFS runs several levels before finding a mismatch."""
+    chain = A
+    for _ in range(n - 1):
+        chain = T.tseq(chain, A)
+    return compile_automaton(chain), compile_automaton(T.tseq(chain, A))
+
+
+class TestCancellation:
+    def test_cancel_inside_vectorized_bfs(self, monkeypatch):
+        if not kernels.HAVE_NUMPY:
+            pytest.skip("numpy unavailable: vectorized BFS never engages")
+        monkeypatch.setattr(kernels, "_BFS_NUMPY_MIN_PAIRS", 0)
+        a, b = _deep_chain_pair(6)
+        with pytest.raises(QueryCancelled):
+            flat_compare(a, b, cancel=_ticking_cancel(2))
+        with pytest.raises(QueryCancelled):
+            flat_includes(b, a, cancel=_ticking_cancel(2))
+
+    def test_cancel_inside_fallback_walk(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_np", None)
+        a, b = _deep_chain_pair(6)
+        with pytest.raises(QueryCancelled):
+            flat_compare(a, b, cancel=_ticking_cancel(2))
+
+    def test_fastpath_never_cancels(self):
+        """Equal tables decide before any checkpoint — deadline-safe."""
+        a = compile_automaton(T.tstar(T.tplus(A, B)))
+        b = compile_automaton(T.tseq(T.tstar(A), T.tstar(T.tseq(B, T.tstar(A)))))
+
+        def explode():
+            raise QueryCancelled("should not be consulted")
+
+        assert flat_compare(a, b, cancel=explode) == (True, None)
+
+    def test_cancel_inside_accepts_batch_vectorized(self):
+        if not kernels.HAVE_NUMPY:
+            pytest.skip("numpy unavailable: vectorized membership never engages")
+        aut = compile_automaton(T.tstar(T.tplus(A, B)))
+        words = [(PI_A,) * 4] * kernels._BATCH_NUMPY_MIN
+        with pytest.raises(QueryCancelled):
+            accepts_batch(aut, words, cancel=_ticking_cancel(2))
+
+    def test_cancel_inside_accepts_batch_loop(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_np", None)
+        aut = compile_automaton(T.tstar(A))
+        with pytest.raises(QueryCancelled):
+            accepts_batch(aut, [(PI_A,)] * 10, cancel=_ticking_cancel(3))
+
+
+# ---------------------------------------------------------------------------
+# batched membership parity
+# ---------------------------------------------------------------------------
+
+
+def _random_words(rng, aut, count):
+    unknown = BoolAssign("zz", True)
+    assert unknown not in aut.sigma
+    pool = list(aut.sigma) + [unknown]
+    words = [()]
+    while len(words) < count:
+        words.append(tuple(rng.choice(pool) for _ in range(rng.randint(0, 5))))
+    return words
+
+
+class TestAcceptsBatch:
+    def _parity(self, count):
+        rng = random.Random(count)
+        term = _random_action_term(rng, _bitvec_action, depth=3)
+        aut = compile_automaton(term)
+        words = _random_words(rng, aut, count)
+        assert accepts_batch(aut, words) == [aut.accepts(word) for word in words]
+
+    def test_large_batch_matches_scalar_accepts(self):
+        self._parity(count=40)  # >= _BATCH_NUMPY_MIN: the gather path
+
+    def test_small_batch_matches_scalar_accepts(self):
+        self._parity(count=3)  # < _BATCH_NUMPY_MIN: the loop path
+
+    def test_fallback_matches_scalar_accepts(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_np", None)
+        self._parity(count=40)
+
+    def test_empty_batch(self):
+        assert accepts_batch(compile_automaton(A), []) == []
+
+    def test_empty_language_automaton(self):
+        aut = compile_automaton(T.tzero())
+        words = [(), (PI_A,), (PI_A, PI_A)] * 4
+        assert accepts_batch(aut, words) == [False] * len(words)
+
+
+# ---------------------------------------------------------------------------
+# the kernel trace phase and counters
+# ---------------------------------------------------------------------------
+
+
+class TestTraceCounters:
+    def _traced(self, fn):
+        trace = activate(Trace())
+        try:
+            fn()
+        finally:
+            deactivate()
+        return trace
+
+    def test_fastpath_hit_counted_under_kernel_phase(self):
+        a = compile_automaton(T.tstar(T.tplus(A, B)))
+        b = compile_automaton(T.tseq(T.tstar(A), T.tstar(T.tseq(B, T.tstar(A)))))
+        trace = self._traced(lambda: flat_compare(a, b))
+        assert trace.counters["kernel_fastpath_hits"] == 1
+        assert trace.phase_counts.get("kernel") == 1
+
+    def test_bfs_levels_and_pairs_counted(self, monkeypatch):
+        if not kernels.HAVE_NUMPY:
+            pytest.skip("numpy unavailable: vectorized BFS never engages")
+        monkeypatch.setattr(kernels, "_BFS_NUMPY_MIN_PAIRS", 0)
+        a, b = _deep_chain_pair(4)
+        trace = self._traced(lambda: flat_compare(a, b))
+        assert trace.counters["kernel_levels"] >= 2
+        assert trace.counters["kernel_pairs"] >= 1
+        assert "kernel_fastpath_hits" not in trace.counters
+
+    def test_walk_fallback_counted(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_np", None)
+        a, b = _deep_chain_pair(3)
+        trace = self._traced(lambda: flat_compare(a, b))
+        assert trace.counters["kernel_walk_fallbacks"] == 1
+
+    def test_batch_words_counted(self):
+        aut = compile_automaton(T.tstar(A))
+        trace = self._traced(lambda: accepts_batch(aut, [(), (PI_A,)]))
+        assert trace.counters["kernel_batch_words"] == 2
+
+
+# ---------------------------------------------------------------------------
+# the arena layer: interning, pools, aut_bytes aggregation
+# ---------------------------------------------------------------------------
+
+
+class TestArena:
+    def test_sigma_interned_across_automata(self):
+        a = compile_automaton(T.tseq(A, B))
+        b = compile_automaton(T.tplus(A, B))
+        assert a.sigma == b.sigma
+        assert a.sigma is b.sigma  # one canonical tuple per alphabet
+        assert sigma_index(a.sigma) is sigma_index(b.sigma)  # one shared index
+        assert intern_sigma(tuple(a.sigma)) is a.sigma
+
+    def test_arena_pool_tracks_live_bytes(self):
+        pool = ArenaPool()
+        aut = compile_automaton(T.tseq(A, B), pool=pool)
+        assert pool.live_count == 1
+        assert aut.nbytes > 0
+        assert pool.aut_bytes == aut.nbytes
+        stats = pool.stats()
+        assert stats["automata"] == 1 and stats["adopted"] == 1
+        assert stats["aut_bytes"] == aut.nbytes
+        # Weak tracking: dropping the only strong reference releases the
+        # bytes (the aut LRU's eviction policy owns lifetime, not the pool).
+        del aut
+        gc.collect()
+        assert pool.live_count == 0 and pool.aut_bytes == 0
+        assert pool.stats()["adopted"] == 1  # lifetime counter survives
+
+    def test_session_stats_report_aut_bytes(self):
+        session = EngineSession(IncNatTheory(variables=("x",)))
+        session.check_equivalent("inc(x)", "(inc(x))*")
+        stats = session.stats()
+        assert stats["session"]["aut_bytes"] > 0
+        assert stats["aut_bytes"] == stats["session"]["aut_bytes"]
+
+    def test_sharded_pool_aggregates_aut_bytes(self):
+        pool = ShardedSessionPool(stripes=2)
+        session = pool.session("incnat", 0)
+        with session.lock:
+            session.check_equivalent("inc(x)", "(inc(x))*")
+        assert pool.stats()["incnat"]["aut_bytes"] > 0
+
+    def test_merge_pool_stats_sums_aut_bytes(self):
+        block = {
+            "incnat": {
+                "stripes": 1, "queries": 2, "states_compiled": 5, "aut_bytes": 640,
+                "tables": {}, "totals": {"hits": 0, "misses": 0},
+            },
+            "shared": {"tables": {}},
+        }
+        merged = merge_pool_stats([block, block])
+        assert merged["incnat"]["aut_bytes"] == 1280
+
+
+# ---------------------------------------------------------------------------
+# batched membership end to end
+# ---------------------------------------------------------------------------
+
+_MEMBER_TERM = "(inc(x))*; inc(y)"
+_MEMBER_WORDS = [
+    [],
+    ["inc(x)"],
+    ["inc(y)"],
+    ["inc(x)", "inc(y)"],
+    ["inc(x)", "inc(x)", "inc(y)"],
+    ["inc(y)", "inc(y)"],
+    ["inc(x)", "inc(y)", "inc(x)"],
+    ["inc(x)", "inc(x)"],
+    ["inc(x)", "inc(x)", "inc(x)", "inc(y)"],
+]
+
+
+class TestMemberMany:
+    def _expected(self, kmt):
+        return [kmt.member(_MEMBER_TERM, word) for word in _MEMBER_WORDS]
+
+    def test_matches_scalar_member_on_every_configuration(self):
+        for kwargs in (
+            {},
+            {"walk_kernel": "legacy"},
+            {"use_compiled": False},
+        ):
+            kmt = KMT(IncNatTheory(variables=("x", "y")), **kwargs)
+            assert kmt.member_many(_MEMBER_TERM, _MEMBER_WORDS) == self._expected(kmt), kwargs
+
+    def test_session_member_many(self):
+        session = EngineSession(IncNatTheory(variables=("x", "y")))
+        verdicts = session.member_many(_MEMBER_TERM, _MEMBER_WORDS)
+        assert verdicts == [session.member(_MEMBER_TERM, word) for word in _MEMBER_WORDS]
+        # One public entry point = one query (plus the scalar replays above).
+        assert session.queries == 1 + len(_MEMBER_WORDS)
+
+    def test_member_many_reuses_the_aut_cache(self):
+        session = EngineSession(IncNatTheory(variables=("x", "y")))
+        session.member_many(_MEMBER_TERM, _MEMBER_WORDS)
+        compiled = session.kmt.checker.states_compiled
+        assert compiled > 0
+        session.member_many(_MEMBER_TERM, [["inc(y)"], ["inc(x)"]])
+        assert session.kmt.checker.states_compiled == compiled
+
+
+# ---------------------------------------------------------------------------
+# walk_kernel plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestWalkKernelPlumbing:
+    def test_known_kernels(self):
+        assert WALK_KERNELS == ("flat", "legacy")
+
+    def test_invalid_walk_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            EquivalenceChecker(IncNatTheory(), walk_kernel="numpy")
+        with pytest.raises(ValueError):
+            KMT(IncNatTheory(), walk_kernel="")
+
+    def test_flat_and_legacy_agree_through_the_decision_procedure(self):
+        flat = KMT(IncNatTheory(variables=("x", "y")))
+        legacy = KMT(IncNatTheory(variables=("x", "y")), walk_kernel="legacy")
+        pairs = [
+            ("(inc(x))*; x > 1", "(inc(x))*; (inc(x))*; x > 1"),
+            ("inc(x) + inc(y)", "inc(y) + inc(x)"),
+            ("inc(x); inc(y)", "inc(y); inc(x)"),
+            ("(inc(x))*", "inc(x)"),
+        ]
+        for left, right in pairs:
+            flat_result = flat.check_equivalent(left, right)
+            legacy_result = legacy.check_equivalent(left, right)
+            assert flat_result.equivalent == legacy_result.equivalent
+            if not flat_result.equivalent:
+                assert (flat_result.counterexample.word
+                        == legacy_result.counterexample.word)
+
+    def test_batch_runner_pool_conflict(self):
+        pool = SessionPool(walk_kernel="legacy")
+        with pytest.raises(ValueError, match="walk_kernel"):
+            BatchRunner(pool=pool, walk_kernel="flat")
+        assert BatchRunner(pool=pool).pool.walk_kernel == "legacy"
+        assert BatchRunner(pool=pool, walk_kernel="legacy").pool is pool
+        assert BatchRunner(walk_kernel="legacy").pool.walk_kernel == "legacy"
+        assert BatchRunner().pool.walk_kernel == "flat"
+
+    def test_session_pool_builds_matching_sessions(self):
+        pool = SessionPool(walk_kernel="legacy")
+        session = pool.session("incnat")
+        assert session.kmt.checker.walk_kernel == "legacy"
+        assert ShardedSessionPool(stripes=1, walk_kernel="legacy") \
+            .session("incnat", 0).kmt.checker.walk_kernel == "legacy"
+
+    def test_cli_walk_kernel_flag(self, capsys):
+        base = ["--theory", "incnat", "--walk-kernel"]
+        assert cli.main(base + ["legacy", "equiv", "inc(x)", "inc(x)"]) == 0
+        assert "equivalent" in capsys.readouterr().out
+        assert cli.main(base + ["flat", "incl", "inc(x)", "inc(x) + inc(y)"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit):  # argparse rejects unknown kernels
+            cli.main(base + ["nope", "equiv", "inc(x)", "inc(x)"])
+        capsys.readouterr()
