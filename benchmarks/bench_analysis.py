@@ -1,0 +1,143 @@
+"""Edit-recheck loop over the analysis ops: cold sessions vs one warm session.
+
+The workload an IDE-shaped client generates is *edit-recheck*: the same
+program re-verified after small edits, interleaved with dead-code sweeps.
+Consecutive revisions share almost all of their normal forms, signatures and
+automata, so a warm :class:`~repro.engine.session.EngineSession` should beat
+a cold session-per-revision loop clearly — that ratio is this benchmark's
+gate (> 1 in ``--smoke`` mode, and the report records the full number).
+
+The program under edit is the paper's Fig. 1a counting loop (Pnat); the
+"edits" mutate the assumed entry bound, the loop bound and the asserted
+postcondition the way a user nudging constants would.
+
+Run directly to emit the ``BENCH_analysis.json`` artifact at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py            # full
+    PYTHONPATH=src python benchmarks/bench_analysis.py --smoke    # CI gate
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.engine.session import EngineSession
+from repro.theories.incnat import IncNatTheory
+
+PRE = "i < 2"
+
+PROGRAM = """\
+while (i < {loop_bound}) {{
+    i += 1;
+    j += 2;
+}}
+"""
+
+DEAD_PROBE = """\
+assume i > 4;
+if (i < 3) {{
+    i += 1;
+}}
+while (i < {loop_bound}) {{
+    j += 2;
+}}
+"""
+
+
+def revisions(rounds):
+    """The edit stream: (program, post) pairs cycling through small nudges.
+
+    Every revision reuses one of a handful of loop bounds, so a warm session
+    sees each distinct program text (and its compiled term) many times —
+    exactly the overlap an edit-recheck loop produces.
+    """
+    out = []
+    for round_index in range(rounds):
+        loop_bound = 4 + (round_index % 3)        # 4, 5, 6, 4, ...
+        post_bound = 3 + (round_index % 4)        # j > 3..6
+        out.append((PROGRAM.format(loop_bound=loop_bound), f"j > {post_bound}"))
+    return out
+
+
+def run_session(session, stream):
+    verdicts = []
+    for program, post in stream:
+        verdicts.append(session.verify(PRE, program, post)["holds"])
+        verdicts.append(session.dead_code(
+            DEAD_PROBE.format(loop_bound=4))["dead"])
+    return verdicts
+
+
+def fresh_session():
+    return EngineSession(IncNatTheory(variables=("i", "j")))
+
+
+def run_cold(stream):
+    """Session-per-revision: every recheck pays parse+normalize+search again."""
+    started = time.perf_counter()
+    verdicts = []
+    for revision in stream:
+        verdicts.extend(run_session(fresh_session(), [revision]))
+    return time.perf_counter() - started, verdicts
+
+
+def run_warm(stream):
+    """One persistent session across the whole edit stream."""
+    session = fresh_session()
+    started = time.perf_counter()
+    verdicts = run_session(session, stream)
+    return time.perf_counter() - started, verdicts, session
+
+
+def run_all(rounds):
+    stream = revisions(rounds)
+    cold_seconds, cold_verdicts = run_cold(stream)
+    warm_seconds, warm_verdicts, session = run_warm(stream)
+    if cold_verdicts != warm_verdicts:
+        raise AssertionError("cold/warm verdicts disagree")
+    stats = session.stats()
+    checks = len(cold_verdicts)
+    return {
+        "benchmark": "analysis_edit_recheck",
+        "description": "cold session-per-revision vs one warm session over an "
+                       "edit-recheck stream of verify + dead_code on Fig. 1a",
+        "rounds": rounds,
+        "checks": checks,
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "warm_over_cold_ratio": round(cold_seconds / warm_seconds, 2)
+        if warm_seconds else float("inf"),
+        "cold_cps": round(checks / cold_seconds, 1) if cold_seconds else float("inf"),
+        "warm_cps": round(checks / warm_seconds, 1) if warm_seconds else float("inf"),
+        "warm_cache_hit_rates": {
+            name: table["hit_rate"] for name, table in stats["tables"].items()
+        },
+    }
+
+
+def main(argv):
+    smoke = "--smoke" in argv
+    report = run_all(rounds=12 if smoke else 60)
+    report["smoke"] = smoke
+    artifact = os.path.normpath(os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_analysis.json"))
+    with open(artifact, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"# wrote {artifact}")
+    # The gate: re-checking with a warm session must actually amortize.
+    return 0 if report["warm_over_cold_ratio"] > 1.0 else 1
+
+
+def test_edit_recheck_amortizes():
+    """Pytest-collectable regression guard on the warm/cold ratio."""
+    report = run_all(rounds=8)
+    assert report["warm_over_cold_ratio"] > 1.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

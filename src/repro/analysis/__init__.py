@@ -7,5 +7,13 @@ analyses; this package hosts them.
 """
 
 from repro.analysis.hoare import HoareLogic, HoareTriple
+from repro.analysis.checks import compiled_program, dead_code, prog_equiv, verify
 
-__all__ = ["HoareLogic", "HoareTriple"]
+__all__ = [
+    "HoareLogic",
+    "HoareTriple",
+    "compiled_program",
+    "dead_code",
+    "prog_equiv",
+    "verify",
+]

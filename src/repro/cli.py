@@ -8,6 +8,9 @@ Usage (installed as the ``kmt`` console script, also ``python -m repro``)::
     kmt --theory bitvec norm   "x = F; (flip x; flip x)*"
     kmt --theory incnat sat    "x > 5; ~(x > 3)"
     kmt --theory incnat classes terms.txt        # one term per line, '#' comments
+    kmt --theory incnat verify "i < 2" @prog.while "j > 5"
+    kmt --theory incnat prog-equiv "skip;" "if (i > 0) {} else {}"
+    kmt --theory incnat dead-code @prog.while    # per-statement reachability
     kmt batch   queries.jsonl                    # JSONL batch over engine sessions
     kmt serve                                    # stdin/stdout JSONL serve loop
 
@@ -109,6 +112,87 @@ def cmd_classes(args):
         for member in members:
             print(f"  {lines[member]}")
     return 0
+
+
+def _read_program(arg):
+    """A program argument: literal While source, or ``@path`` to read a file."""
+    if arg.startswith("@"):
+        with open(arg[1:], "r", encoding="utf-8") as handle:
+            return handle.read()
+    return arg
+
+
+def _make_session(args):
+    """An :class:`EngineSession` for the program-analysis verbs.
+
+    Unlike the bare :class:`KMT` facade, a session keeps its ``prog``, norm
+    and aut caches warm across the many emptiness queries a single
+    ``dead-code`` invocation issues.
+    """
+    from repro.engine.session import EngineSession
+
+    return EngineSession(build_theory(args.theory), budget=args.budget,
+                         cell_search=args.cell_search, walk_kernel=args.walk_kernel)
+
+
+def cmd_verify(args):
+    session = _make_session(args)
+    started = time.perf_counter()
+    result = session.verify(args.pre, _read_program(args.program), args.post)
+    elapsed = time.perf_counter() - started
+    if result["holds"]:
+        print(f"valid  ({elapsed:.3f}s, {result['cells_explored']} cells explored)")
+        return 0
+    print(f"INVALID  ({elapsed:.3f}s, {result['cells_explored']} cells explored)")
+    if "counterexample" in result:
+        print("counterexample:", result["counterexample"])
+    if result.get("witness_trace"):
+        print("witness trace:", " ; ".join(result["witness_trace"]))
+    return 1
+
+
+def cmd_prog_equiv(args):
+    session = _make_session(args)
+    started = time.perf_counter()
+    result = session.prog_equiv(_read_program(args.left), _read_program(args.right))
+    elapsed = time.perf_counter() - started
+    verdict = "equivalent" if result["equivalent"] else "NOT equivalent"
+    print(f"{verdict}  ({elapsed:.3f}s, {result['cells_explored']} cells explored)")
+    if "counterexample" in result:
+        print("counterexample:", result["counterexample"])
+    return 0 if result["equivalent"] else 1
+
+
+def cmd_dead_code(args):
+    from repro.utils.errors import caret_frame
+
+    session = _make_session(args)
+    program = _read_program(args.program)
+    started = time.perf_counter()
+    result = session.dead_code(program)
+    elapsed = time.perf_counter() - started
+    for entry in result["statements"]:
+        marker = "DEAD" if entry["dead"] else "  ok"
+        span = entry.get("span")
+        loc = f"{span['line']}:{span['column']}" if span else "-"
+        print(f"{marker}  {loc:>6}  {entry['text']}")
+        if entry["dead"] and span is not None:
+            print(caret_frame(program, span["start"], prefix="      | "))
+        reason = entry.get("reason")
+        if reason is not None:
+            if reason["kind"] == "guard":
+                polarity = "~" if reason["negated"] else ""
+                where = reason.get("span")
+                at = f" (at {where['line']}:{where['column']})" if where else ""
+                print(f"      reason: guard {polarity}({reason['guard']}){at}")
+            else:
+                where = reason.get("span")
+                at = f" (at {where['line']}:{where['column']})" if where else ""
+                detail = f" {reason['guard']}" if "guard" in reason else ""
+                print(f"      reason: {reason['kind']}{detail}{at}")
+    print(f"# {result['dead']} dead of {result['total']} statements ({elapsed:.3f}s)",
+          file=sys.stderr)
+    return 1 if result["dead"] else 0
 
 
 def cmd_run(args):
@@ -351,6 +435,36 @@ def make_arg_parser():
     run = sub.add_parser("run", help="run a term from the theory's initial state")
     run.add_argument("term")
     run.set_defaults(func=cmd_run)
+
+    verify = sub.add_parser(
+        "verify",
+        help=(
+            "decide the Hoare triple {pre} program {post} for a While program "
+            "(counterexample cell + witness trace on failure)"
+        ),
+    )
+    verify.add_argument("pre", help="precondition (a test in the theory's syntax)")
+    verify.add_argument("program", help="While program source, or @path to a file")
+    verify.add_argument("post", help="postcondition (a test in the theory's syntax)")
+    verify.set_defaults(func=cmd_verify)
+
+    prog_equiv = sub.add_parser(
+        "prog-equiv",
+        help="decide equivalence of two While programs",
+    )
+    prog_equiv.add_argument("left", help="While program source, or @path to a file")
+    prog_equiv.add_argument("right", help="While program source, or @path to a file")
+    prog_equiv.set_defaults(func=cmd_prog_equiv)
+
+    dead_code = sub.add_parser(
+        "dead-code",
+        help=(
+            "report unreachable statements of a While program with exact "
+            "source spans and the controlling reason guard"
+        ),
+    )
+    dead_code.add_argument("program", help="While program source, or @path to a file")
+    dead_code.set_defaults(func=cmd_dead_code)
 
     batch = sub.add_parser(
         "batch", help="run a JSONL batch of queries over cached engine sessions"

@@ -48,6 +48,19 @@ RESERVED_WORDS = frozenset(
 #: Symbols that terminate a theory phrase (at bracket depth zero).
 _PHRASE_BOUNDARY_SYMS = frozenset({";", "+", "*", ")", ","})
 
+#: What the grammar allows at the start of an ``atom`` (see the module
+#: docstring and docs/GRAMMAR.md); rendered into "expected one of …"
+#: diagnostics when no production matches.
+ATOM_EXPECTED = (
+    "'('", "'~'", "'not'", "'true'", "'false'", "'skip'", "'drop'",
+    "'if'", "'while'", "a theory phrase",
+)
+
+
+def _found(token):
+    """Render a token for a diagnostic (``end`` reads as end of input)."""
+    return "end of input" if token.kind == "end" else repr(token.value)
+
 
 class Token:
     __slots__ = ("kind", "value", "pos")
@@ -112,13 +125,15 @@ class Parser:
         token = self.peek()
         if token.kind == "sym" and token.value == sym:
             return self.advance()
-        raise ParseError(f"expected {sym!r}, found {token.value!r}", token.pos, self.text)
+        raise ParseError(f"found {_found(token)}", token.pos, self.text,
+                         expected=(repr(sym),))
 
     def expect_word(self, word):
         token = self.peek()
         if token.kind == "word" and token.value == word:
             return self.advance()
-        raise ParseError(f"expected {word!r}, found {token.value!r}", token.pos, self.text)
+        raise ParseError(f"found {_found(token)}", token.pos, self.text,
+                         expected=(repr(word),))
 
     def at_sym(self, sym):
         token = self.peek()
@@ -138,7 +153,9 @@ class Parser:
         term = self.parse_expr()
         if not self.at_end():
             token = self.peek()
-            raise ParseError(f"trailing input starting at {token.value!r}", token.pos, self.text)
+            raise ParseError(
+                f"trailing input starting at {_found(token)}", token.pos, self.text,
+                expected=("';'", "'+'", "'*'", "end of input"))
         return term
 
     def parse_pred(self):
@@ -260,7 +277,8 @@ class Parser:
     def _parse_phrase(self):
         start = self.peek()
         if start.kind == "end":
-            raise ParseError("unexpected end of input", start.pos, self.text)
+            raise ParseError("unexpected end of input", start.pos, self.text,
+                             expected=ATOM_EXPECTED)
         depth = 0
         phrase = []
         while True:
@@ -283,9 +301,17 @@ class Parser:
             phrase.append(self.advance())
         if not phrase:
             raise ParseError(
-                f"expected a term, found {start.value!r}", start.pos, self.text
+                f"found {_found(start)}", start.pos, self.text, expected=ATOM_EXPECTED
             )
-        kind, value = self.theory.parse_phrase(phrase)
+        try:
+            kind, value = self.theory.parse_phrase(phrase)
+        except ParseError as error:
+            if error.position is not None:
+                raise
+            # Theories report *what* they could not parse but not where; the
+            # phrase's first token anchors the diagnostic in the source.
+            raise ParseError(error.bare_message, start.pos, self.text,
+                             expected=error.expected) from None
         if kind == "test":
             return T.ttest(T.pprim(value))
         if kind == "action":

@@ -9,6 +9,12 @@ One request per line, one JSON response per line, order preserved::
     {"op": "leq",   "left": "inc(x)", "right": "inc(x) + inc(y)"}
     {"op": "inclusion", "left": "inc(x)", "right": "inc(x) + inc(y)"}
     {"op": "member", "term": "(inc(x))*; x > 1", "word": ["inc(x)", "inc(x)"]}
+    {"op": "verify", "pre": "x > 0", "program": "inc(x);", "post": "x > 1"}
+    {"op": "prog_equiv", "left": "skip;", "right": "if (x > 0) {} else {}"}
+    {"op": "dead_code", "program": "abort; inc(x);"}
+
+The last three take While-language program source (docs/GRAMMAR.md) instead
+of bare KMT terms; see :mod:`repro.analysis.checks` for their result payloads.
 
 Responses echo ``op``/``theory`` plus the request's ``id`` (defaulting to the
 0-based line number) and carry either ``"ok": true`` with a ``result`` object
@@ -54,7 +60,8 @@ from repro.utils.errors import KmtError, ParseError, QueryCancelled, WireProtoco
 _log = logging.getLogger("kmt.batch")
 
 #: Ops that dispatch to a theory session.
-QUERY_OPS = ("equiv", "leq", "inclusion", "member", "norm", "sat", "empty")
+QUERY_OPS = ("equiv", "leq", "inclusion", "member", "norm", "sat", "empty",
+             "verify", "prog_equiv", "dead_code")
 #: Control ops understood by the serve loop (and harmlessly by batches).
 CONTROL_OPS = ("stats", "ping", "metrics")
 
@@ -143,6 +150,9 @@ _WIRE_FIELDS = {
     "norm": ("term",),
     "sat": ("pred",),
     "empty": ("term",),
+    "verify": ("pre", "program", "post"),
+    "prog_equiv": ("left", "right"),
+    "dead_code": ("program",),
     "stats": (),
     "ping": (),
     "metrics": (),
@@ -403,6 +413,15 @@ def execute_query(session, record, cancel=None):
         return {"satisfiable": session.satisfiable(record["pred"])}
     if op == "empty":
         return {"empty": session.is_empty(record["term"], cancel=cancel)}
+    # Program-analysis ops: While source text in, spans/witnesses out (see
+    # repro.analysis.checks; docs/GRAMMAR.md specifies the program syntax).
+    if op == "verify":
+        return session.verify(record["pre"], record["program"], record["post"],
+                              cancel=cancel)
+    if op == "prog_equiv":
+        return session.prog_equiv(record["left"], record["right"], cancel=cancel)
+    if op == "dead_code":
+        return session.dead_code(record["program"], cancel=cancel)
     raise KmtError(f"unknown op {op!r}; expected one of {', '.join(QUERY_OPS)}")
 
 

@@ -151,6 +151,7 @@ class EngineCaches:
     ``equiv``         pair of normal-form fingerprint keys → result
     ``sig``           pair of restricted-action fingerprints → ``(bool, word)``
     ``aut``           restricted-action fingerprint → ``CompiledAutomaton``
+    ``prog``          While-program source text → ``(WhileProgram, Term)``
     ``deriv``         ``(action, pi)`` → derivative (shared, process-wide)
     ================  =====================================================
     """
@@ -163,6 +164,7 @@ class EngineCaches:
         equiv_size=8192,
         sig_size=8192,
         aut_size=4096,
+        prog_size=256,
         deriv=None,
     ):
         self.norm = LRUCache(norm_size, name="norm")
@@ -171,6 +173,7 @@ class EngineCaches:
         self.equiv = LRUCache(equiv_size, name="equiv")
         self.sig = LRUCache(sig_size, name="sig")
         self.aut = LRUCache(aut_size, name="aut")
+        self.prog = LRUCache(prog_size, name="prog")
         self.deriv = DERIVATIVE_CACHE if deriv is None else deriv
         # The per-session arena pool: compile_automaton adopts every automaton
         # it builds for this bundle, so ``aut_bytes`` reports the flat-table
@@ -195,11 +198,12 @@ class EngineCaches:
     # -- accounting ---------------------------------------------------------
     def all_caches(self):
         return (self.norm, self.sat_conj, self.sat_pred, self.equiv, self.sig,
-                self.aut, self.deriv)
+                self.aut, self.prog, self.deriv)
 
     def private_caches(self):
         """The tables owned by this bundle (excludes a shared derivative memo)."""
-        out = [self.norm, self.sat_conj, self.sat_pred, self.equiv, self.sig, self.aut]
+        out = [self.norm, self.sat_conj, self.sat_pred, self.equiv, self.sig,
+               self.aut, self.prog]
         if self.deriv is not DERIVATIVE_CACHE:
             out.append(self.deriv)
         return tuple(out)

@@ -121,7 +121,11 @@ _STOP = object()
 #: Shard-affinity fields: the request content that determines which stripe
 #: (and therefore which warm session) a query lands on.  ``word`` is a
 #: ``member`` request's action word (a JSON list; ``str`` of it is stable).
-_AFFINITY_FIELDS = ("op", "left", "right", "term", "pred", "word")
+#: ``pre``/``program``/``post`` are the program-analysis ops' While source —
+#: hashing the program text keeps an edit-recheck loop pinned to the stripe
+#: whose ``prog``/norm/aut caches are already warm for that program.
+_AFFINITY_FIELDS = ("op", "left", "right", "term", "pred", "word",
+                    "pre", "program", "post")
 
 #: How many recent request latencies back the percentile report.
 _LATENCY_WINDOW = 4096

@@ -188,6 +188,37 @@ class EngineSession:
         return self.kmt.checker.is_empty_nf(self._normalize_cached(p, cancel=cancel),
                                             cancel=cancel)
 
+    # ------------------------------------------------------------------
+    # program analyses (see repro.analysis.checks)
+    # ------------------------------------------------------------------
+    # Program source text is parsed+compiled through the ``prog`` cache; the
+    # resulting terms flow through the same cached pipeline as every other
+    # query, so an edit-recheck loop re-verifying a mutated program only pays
+    # for the normal forms that actually changed.
+    def verify(self, pre, program, post, cancel=None):
+        """Decide the Hoare triple ``{pre} program {post}`` over While source."""
+        from repro.analysis import checks
+
+        return checks.verify(self, pre, program, post, cancel=cancel)
+
+    def prog_equiv(self, left, right, cancel=None):
+        """Decide equivalence of two While programs (source text)."""
+        from repro.analysis import checks
+
+        return checks.prog_equiv(self, left, right, cancel=cancel)
+
+    def dead_code(self, program, cancel=None):
+        """Per-statement unreachability report for a While program."""
+        from repro.analysis import checks
+
+        self.queries += 1
+        return checks.dead_code(self, program, cancel=cancel)
+
+    def _is_empty_nf_cached(self, term, cancel=None):
+        """Emptiness without bumping the public query counter (internal)."""
+        return self.kmt.checker.is_empty_nf(
+            self._normalize_cached(term, cancel=cancel), cancel=cancel)
+
     def satisfiable(self, pred):
         """Satisfiability of a predicate, memoized by fingerprint."""
         self.queries += 1

@@ -39,7 +39,18 @@ from repro.utils.errors import ParseError
 
 
 class Statement:
-    """Base class for While-language statements."""
+    """Base class for While-language statements.
+
+    ``span`` is the half-open ``(start, end)`` character range of the
+    statement in the source text it was parsed from (``None`` on
+    programmatically-built statements; the trailing ``;`` terminator is not
+    part of the span).  The concrete classes guarantee a *pretty round-trip*:
+    re-parsing ``pretty()`` under the same theory compiles to the identical
+    (hash-consed) KMT term — the grammar fuzzer in the test suite holds them
+    to it.
+    """
+
+    span = None
 
     def compile(self):
         """Compile this statement into a KMT term."""
@@ -132,6 +143,8 @@ class Seq(Statement):
 class If(Statement):
     """``if (b) { s1 } else { s2 }``."""
 
+    cond_span = None
+
     def __init__(self, cond, then_branch, else_branch=None):
         self.cond = cond
         self.then_branch = then_branch
@@ -155,6 +168,8 @@ class If(Statement):
 class While(Statement):
     """``while (b) { s }``."""
 
+    cond_span = None
+
     def __init__(self, cond, body):
         self.cond = cond
         self.body = body
@@ -171,11 +186,17 @@ class While(Statement):
 
 
 class WhileProgram:
-    """A parsed/constructed While program together with its theory."""
+    """A parsed/constructed While program together with its theory.
 
-    def __init__(self, body, theory):
+    ``source`` is the original program text when the program came from
+    :func:`parse_program` (``None`` otherwise); statement ``span`` offsets
+    index into it.
+    """
+
+    def __init__(self, body, theory, source=None):
         self.body = body if isinstance(body, Statement) else Seq(body)
         self.theory = theory
+        self.source = source
 
     def compile(self):
         """The KMT term denoting this program."""
@@ -203,13 +224,22 @@ def compile_program(program):
 
 
 class _ProgramParser:
-    """Statement-level recursive descent; tests/actions defer to the theory."""
+    """Statement-level recursive descent; tests/actions defer to the theory.
+
+    Tests and actions are *not* re-joined from token values: the parser
+    slices the original source between the phrase's first and last token and
+    hands that substring to the core parser, so a :class:`ParseError` from a
+    sub-parse can be re-anchored at its true offset in the whole (possibly
+    multi-line) program — line, column and caret frame all point into the
+    program the user actually wrote.
+    """
 
     def __init__(self, theory, text):
         self.theory = theory
         self.text = text
         self.tokens = core_parser.tokenize(text)
         self.index = 0
+        self._last_end = 0  # one past the last consumed token
 
     # -- token plumbing -----------------------------------------------------
     def peek(self):
@@ -218,6 +248,8 @@ class _ProgramParser:
     def advance(self):
         token = self.tokens[self.index]
         self.index += 1
+        if token.kind != "end":
+            self._last_end = token.pos + len(token.value)
         return token
 
     def at_end(self):
@@ -234,7 +266,9 @@ class _ProgramParser:
     def expect_sym(self, sym):
         if not self.at_sym(sym):
             token = self.peek()
-            raise ParseError(f"expected {sym!r}, found {token.value!r}", token.pos, self.text)
+            found = "end of input" if token.kind == "end" else repr(token.value)
+            raise ParseError(f"found {found}", token.pos, self.text,
+                             expected=(repr(sym),))
         return self.advance()
 
     # -- helpers: re-parse token runs with the KMT term/test parser ------------
@@ -278,21 +312,36 @@ class _ProgramParser:
             collected.append(self.advance())
         return collected
 
-    @staticmethod
-    def _tokens_to_text(tokens):
-        return " ".join(token.value for token in tokens)
+    def _slice_source(self, tokens):
+        """The original source substring spanned by a token run + its offset."""
+        start = tokens[0].pos
+        end = tokens[-1].pos + len(tokens[-1].value)
+        return self.text[start:end], start
+
+    def _reanchor(self, error, offset):
+        """Re-render a sub-parse error against the whole program text."""
+        if error.position is None:
+            return error
+        return ParseError(error.bare_message, error.position + offset, self.text,
+                          expected=error.expected)
 
     def _parse_pred_tokens(self, tokens):
-        text = self._tokens_to_text(tokens)
-        if not text.strip():
+        if not tokens:
             raise ParseError("expected a test", self.peek().pos, self.text)
-        return core_parser.parse_pred(text, self.theory)
+        snippet, offset = self._slice_source(tokens)
+        try:
+            return core_parser.parse_pred(snippet, self.theory)
+        except ParseError as error:
+            raise self._reanchor(error, offset) from None
 
     def _parse_term_tokens(self, tokens):
-        text = self._tokens_to_text(tokens)
-        if not text.strip():
+        if not tokens:
             raise ParseError("expected an action", self.peek().pos, self.text)
-        return core_parser.parse_term(text, self.theory)
+        snippet, offset = self._slice_source(tokens)
+        try:
+            return core_parser.parse_term(snippet, self.theory)
+        except ParseError as error:
+            raise self._reanchor(error, offset) from None
 
     # -- grammar -------------------------------------------------------------
     def parse_program(self, stop_at_brace=False):
@@ -306,6 +355,12 @@ class _ProgramParser:
         return Seq(statements)
 
     def parse_statement(self):
+        start = self.peek().pos
+        stmt = self._parse_statement_inner()
+        stmt.span = (start, self._last_end)
+        return stmt
+
+    def _parse_statement_inner(self):
         if self.at_word("skip"):
             self.advance()
             return Skip()
@@ -314,17 +369,17 @@ class _ProgramParser:
             return Abort()
         if self.at_word("assume"):
             self.advance()
-            tokens = self._collect_until({";"})
+            tokens = self._collect_until({";", "{", "}"})
             return Assume(self._parse_pred_tokens(tokens))
         if self.at_word("assert"):
             self.advance()
-            tokens = self._collect_until({";"})
+            tokens = self._collect_until({";", "{", "}"})
             return Assert(self._parse_pred_tokens(tokens))
         if self.at_word("if"):
             return self._parse_if()
         if self.at_word("while"):
             return self._parse_while()
-        tokens = self._collect_until({";"})
+        tokens = self._collect_until({";", "{", "}"})
         return ActionStmt(self._parse_term_tokens(tokens))
 
     def _parse_block(self):
@@ -333,28 +388,46 @@ class _ProgramParser:
         self.expect_sym("}")
         return block
 
+    def _parse_cond(self):
+        tokens = self._collect_balanced_parens()
+        if tokens:
+            span = (tokens[0].pos, tokens[-1].pos + len(tokens[-1].value))
+        else:
+            span = (self._last_end, self._last_end)
+        return self._parse_pred_tokens(tokens), span
+
     def _parse_if(self):
         self.advance()  # 'if'
-        cond = self._parse_pred_tokens(self._collect_balanced_parens())
+        cond, cond_span = self._parse_cond()
         then_branch = self._parse_block()
         else_branch = None
         if self.at_word("else"):
             self.advance()
             else_branch = self._parse_block()
-        return If(cond, then_branch, else_branch)
+        stmt = If(cond, then_branch, else_branch)
+        stmt.cond_span = cond_span
+        return stmt
 
     def _parse_while(self):
         self.advance()  # 'while'
-        cond = self._parse_pred_tokens(self._collect_balanced_parens())
+        cond, cond_span = self._parse_cond()
         body = self._parse_block()
-        return While(cond, body)
+        stmt = While(cond, body)
+        stmt.cond_span = cond_span
+        return stmt
 
 
 def parse_program(text, theory):
-    """Parse a While program over the given theory; returns a :class:`WhileProgram`."""
+    """Parse a While program over the given theory; returns a :class:`WhileProgram`.
+
+    The returned program keeps the source text, and every parsed statement
+    carries its ``(start, end)`` source span (``If``/``While`` additionally
+    record ``cond_span``, the guard's range inside the parentheses).
+    """
     parser = _ProgramParser(theory, text)
     body = parser.parse_program()
     if not parser.at_end():
         token = parser.peek()
-        raise ParseError(f"trailing input starting at {token.value!r}", token.pos, text)
-    return WhileProgram(body, theory)
+        raise ParseError(f"trailing input starting at {token.value!r}", token.pos, text,
+                         expected=("a statement", "';'", "end of input"))
+    return WhileProgram(body, theory, source=text)

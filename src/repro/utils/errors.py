@@ -14,14 +14,66 @@ class TheoryError(KmtError):
     """
 
 
-class ParseError(KmtError):
-    """Raised by the concrete-syntax parser on malformed input."""
+def line_and_column(text, position):
+    """1-based ``(line, column)`` of a character offset into ``text``.
 
-    def __init__(self, message, position=None, text=None):
+    Offsets past the end (the parsers point "unexpected end of input" one
+    past the last character) clamp to the end of the text.
+    """
+    position = max(0, min(position, len(text)))
+    prefix = text[:position]
+    line = prefix.count("\n") + 1
+    column = position - (prefix.rfind("\n") + 1) + 1
+    return line, column
+
+
+def caret_frame(text, position, prefix="  | "):
+    """The source line containing ``position`` with a caret under it.
+
+    Tabs in the excerpt are expanded to single spaces so the caret column
+    lines up regardless of the reader's tab stops.
+    """
+    position = max(0, min(position, len(text)))
+    start = text.rfind("\n", 0, position) + 1
+    end = text.find("\n", position)
+    if end == -1:
+        end = len(text)
+    excerpt = text[start:end].replace("\t", " ")
+    return f"{prefix}{excerpt}\n{prefix}{' ' * (position - start)}^"
+
+
+class ParseError(KmtError):
+    """Raised by the concrete-syntax parsers on malformed input.
+
+    Diagnostics are positional: when ``position`` and ``text`` are given, the
+    rendered message carries the 1-based ``line``/``column`` plus a
+    caret-frame excerpt of the offending source line (``position`` — the flat
+    character offset — is kept for backward compatibility).  ``expected`` is
+    the set of token spellings the grammar allowed at that point, rendered as
+    an "expected one of …" clause and kept machine-readable on the attribute.
+    ``bare_message`` preserves the undecorated message so wrappers (the While
+    frontend re-anchoring a sub-parse error against the whole program) can
+    re-render at a shifted position without stacking location clauses.
+    """
+
+    def __init__(self, message, position=None, text=None, expected=None):
+        self.bare_message = message
         self.position = position
         self.text = text
+        self.expected = tuple(expected) if expected else ()
+        self.line = None
+        self.column = None
+        if self.expected:
+            if len(self.expected) == 1:
+                message = f"{message}; expected {self.expected[0]}"
+            else:
+                message = f"{message}; expected one of: {', '.join(self.expected)}"
         if position is not None and text is not None:
-            message = f"{message} (at position {position} in {text!r})"
+            self.line, self.column = line_and_column(text, position)
+            message = (
+                f"{message} (at line {self.line}, column {self.column})\n"
+                f"{caret_frame(text, position)}"
+            )
         super().__init__(message)
 
 

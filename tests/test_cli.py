@@ -140,3 +140,67 @@ class TestTheoryPresets:
         code = main(["--theory", "maps", "sat", "m[1] = T"])
         assert code == 0
         assert "satisfiable" in capsys.readouterr().out
+
+
+class TestVerifyCommand:
+    def test_valid_triple_exits_zero(self, capsys):
+        code = main(["--theory", "incnat", "verify",
+                     "i < 2", "while (i < 5) { i += 1; j += 2; }", "j > 5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "valid" in out
+
+    def test_invalid_triple_prints_witness(self, capsys):
+        code = main(["--theory", "incnat", "verify",
+                     "i < 2", "while (i < 5) { i += 1; j += 2; }", "j > 20"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "INVALID" in out
+        assert "counterexample" in out
+        assert "witness" in out
+
+    def test_program_from_file(self, tmp_path, capsys):
+        path = tmp_path / "prog.while"
+        path.write_text("inc(i);\n", encoding="utf-8")
+        code = main(["--theory", "incnat", "verify", "true", f"@{path}", "i > 0"])
+        assert code == 0
+
+    def test_parse_error_reported_cleanly(self, capsys):
+        code = main(["--theory", "incnat", "verify", "true", "while (i { }", "true"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+
+class TestProgEquivCommand:
+    def test_equivalent_programs(self, capsys):
+        code = main(["--theory", "incnat", "prog-equiv",
+                     "skip;", "if (i > 0) { } else { }"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "equivalent" in out
+
+    def test_inequivalent_programs(self, capsys):
+        code = main(["--theory", "incnat", "prog-equiv", "inc(i);", "skip;"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NOT equivalent" in out
+
+
+class TestDeadCodeCommand:
+    def test_dead_statement_reported_with_caret(self, capsys):
+        code = main(["--theory", "incnat", "dead-code",
+                     "assume i > 4;\nif (i < 3) {\n    inc(i);\n}"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "DEAD" in captured.out
+        assert "3:5" in captured.out          # the dead inc(i) statement
+        assert "^" in captured.out            # caret frame into the source
+        assert "reason: guard (i < 3)" in captured.out
+        assert "1 dead of" in captured.err
+
+    def test_live_program_exits_zero(self, capsys):
+        code = main(["--theory", "incnat", "dead-code", "inc(i); inc(j);"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "DEAD" not in captured.out

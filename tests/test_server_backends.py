@@ -160,6 +160,36 @@ _THEORY_ATOMS = {
     ),
 }
 
+#: Guard/body loops that normalize quickly (starred random guards can Denest).
+_THEORY_LOOPS = {
+    "incnat": "while (x > 0) { inc(y); }",
+    "bitvec": "while (a = T) { a := F; }",
+    "netkat": "while (sw = 0) { sw <- 1; }",
+}
+
+
+def _rand_program(rng, preds, actions, loop, depth):
+    """A small random While program over the theory's atoms."""
+    stmts = []
+    for _ in range(rng.randint(1, 3)):
+        roll = rng.random()
+        if roll < 0.25:
+            stmts.append(f"assume {rng.choice(preds)};")
+        elif roll < 0.65 or depth <= 0:
+            stmts.append(f"{rng.choice(actions)};")
+        elif roll < 0.8:
+            inner = _rand_program(rng, preds, actions, loop, depth - 1)
+            stmt = f"if ({rng.choice(preds)}) {{ {inner} }}"
+            if rng.random() < 0.5:
+                other = _rand_program(rng, preds, actions, loop, depth - 1)
+                stmt += f" else {{ {other} }}"
+            stmts.append(stmt)
+        elif roll < 0.9:
+            stmts.append(loop)
+        else:
+            stmts.append("abort;")
+    return " ".join(stmts)
+
 
 def make_soak_workload(seed=SOAK_SEED, total=SOAK_REQUESTS):
     """``total`` JSONL query lines (ids ``q0..``), plus a protocol-error tail.
@@ -180,9 +210,25 @@ def make_soak_workload(seed=SOAK_SEED, total=SOAK_REQUESTS):
     for _ in range(total):
         theory = rng.choice(theories)
         preds, actions = _THEORY_ATOMS[theory]
-        op = rng.choices(("equiv", "leq", "norm", "sat", "empty"),
-                         weights=(5, 2, 2, 2, 1))[0]
-        if op == "equiv":
+        loop = _THEORY_LOOPS[theory]
+        op = rng.choices(("equiv", "leq", "norm", "sat", "empty",
+                          "verify", "prog_equiv", "dead_code"),
+                         weights=(5, 2, 2, 2, 1, 2, 2, 1))[0]
+        if op == "verify":
+            program = _rand_program(rng, preds, actions, loop, depth=1)
+            add(op="verify", theory=theory, pre=rng.choice(preds + ["true"]),
+                program=program, post=rng.choice(preds))
+        elif op == "prog_equiv":
+            left = _rand_program(rng, preds, actions, loop, depth=1)
+            if rng.random() < 0.4:
+                right = left  # must come back equivalent on every path
+            else:
+                right = _rand_program(rng, preds, actions, loop, depth=1)
+            add(op="prog_equiv", theory=theory, left=left, right=right)
+        elif op == "dead_code":
+            add(op="dead_code", theory=theory,
+                program=_rand_program(rng, preds, actions, loop, depth=2))
+        elif op == "equiv":
             left = _rand_term(rng, preds, actions, depth=2)
             roll = rng.random()
             if roll < 0.25:
@@ -217,6 +263,8 @@ def make_soak_workload(seed=SOAK_SEED, total=SOAK_REQUESTS):
     add(op="frobnicate")                                  # unknown op
     add(op="sat", theory="no-such-theory", pred="x > 1")  # unknown theory
     add(op="norm", theory="incnat", term=["not", "text"])  # wrong field type
+    add(op="dead_code", theory="incnat", program="while (x > 0 { }")  # parse error
+    add(op="verify", theory="incnat", pre="x > 0", program="inc(x);")  # missing post
     return lines
 
 
@@ -440,7 +488,10 @@ _ALL_OPS = QUERY_OPS + CONTROL_OPS + ("quit",)
 _REQUIRED_FIELDS = {
     "equiv": ("left", "right"), "leq": ("left", "right"),
     "inclusion": ("left", "right"), "member": ("term", "word"), "norm": ("term",),
-    "sat": ("pred",), "empty": ("term",), "stats": (), "ping": (), "metrics": (),
+    "sat": ("pred",), "empty": ("term",),
+    "verify": ("pre", "program", "post"), "prog_equiv": ("left", "right"),
+    "dead_code": ("program",),
+    "stats": (), "ping": (), "metrics": (),
     "quit": (),
 }
 
@@ -452,8 +503,8 @@ _json_values = st.recursive(
     max_leaves=6,
 )
 
-_RESERVED_REQUEST = {"op", "left", "right", "term", "pred", "word", "id", "theory",
-                     "deadline_ms"}
+_RESERVED_REQUEST = {"op", "left", "right", "term", "pred", "word", "pre", "program",
+                     "post", "id", "theory", "deadline_ms"}
 _RESERVED_RESPONSE = {"id", "ok", "op", "theory", "result", "error", "error_code"}
 
 

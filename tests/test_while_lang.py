@@ -215,3 +215,64 @@ class TestFig1Programs:
             theory,
         ).compile()
         assert kmt.equivalent(term, stripped)
+
+
+class TestSourceSpans:
+    SOURCE = ("assume i < 2;\n"
+              "if (i > 0) {\n"
+              "    inc(i);\n"
+              "} else {\n"
+              "    inc(j);\n"
+              "}\n"
+              "while (j < 4) {\n"
+              "    j += 2;\n"
+              "}\n")
+
+    def test_statement_spans_slice_the_source(self, nat):
+        program = parse_program(self.SOURCE, nat)
+        assume, branch, loop = program.body.statements
+        text = self.SOURCE
+        assert text[slice(*assume.span)] == "assume i < 2"
+        assert text[slice(*branch.span)].startswith("if (i > 0) {")
+        assert text[slice(*branch.span)].endswith("}")
+        assert text[slice(*loop.span)].startswith("while (j < 4) {")
+        then_stmt = branch.then_branch.statements[0]
+        assert text[slice(*then_stmt.span)] == "inc(i)"
+        body_stmt = loop.body.statements[0]
+        assert text[slice(*body_stmt.span)] == "j += 2"
+
+    def test_cond_spans_cover_the_guard_text(self, nat):
+        program = parse_program(self.SOURCE, nat)
+        _, branch, loop = program.body.statements
+        assert self.SOURCE[slice(*branch.cond_span)] == "i > 0"
+        assert self.SOURCE[slice(*loop.cond_span)] == "j < 4"
+
+    def test_program_keeps_source_text(self, nat):
+        program = parse_program(self.SOURCE, nat)
+        assert program.source == self.SOURCE
+
+    def test_hand_built_statements_have_no_span(self):
+        stmt = Assume(T.pprim(Gt("i", 1)))
+        assert stmt.span is None
+        assert If(T.pprim(Gt("i", 1)), Skip(), Skip()).cond_span is None
+
+
+class TestPrettyRoundTrip:
+    def test_pretty_reparses_to_identical_term(self, nat):
+        source = ("assume i < 2;\n"
+                  "while (i < 5) {\n"
+                  "    i += 1;\n"
+                  "    if (j > 1) { inc(j); }\n"
+                  "}\n"
+                  "assert j > 0;\n")
+        program = parse_program(source, nat)
+        reparsed = parse_program(program.pretty(), nat)
+        # Hash-consing makes term equality an identity check.
+        assert reparsed.compile() is program.compile()
+
+    def test_each_statement_pretty_reparses(self, nat):
+        source = "assume i < 2; if (i > 0) { inc(i); } else { } abort;"
+        program = parse_program(source, nat)
+        for stmt in program.body.statements:
+            again = parse_program(stmt.pretty(), nat)
+            assert again.compile() is stmt.compile()
