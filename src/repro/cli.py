@@ -272,16 +272,45 @@ def cmd_serve(args):
     import threading
 
     _configure_observability(args)
+    if args.checkpoint_interval is not None and not args.snapshot:
+        print("error: --checkpoint-interval requires --snapshot PATH", file=sys.stderr)
+        return 2
+
+    def _make_manager(exporter, importer, metrics=None):
+        if not args.snapshot:
+            return None
+        from repro.engine.persist import CheckpointManager, SnapshotStore
+
+        return CheckpointManager(
+            SnapshotStore(args.snapshot), exporter, importer=importer,
+            interval=args.checkpoint_interval, metrics=metrics,
+        )
+
     if args.legacy:
         if args.metrics:
             print("error: --metrics requires the concurrent server (drop --legacy)",
                   file=sys.stderr)
             return 2
-        from repro.engine.batch import serve
+        from repro.engine.batch import SessionPool, serve
 
-        served = serve(sys.stdin, sys.stdout, default_theory=args.theory, budget=args.budget,
-                       cell_search=args.cell_search, slow_query_ms=args.slow_query_ms,
-                       walk_kernel=args.walk_kernel)
+        pool = manager = None
+        if args.snapshot:
+            pool = SessionPool(
+                budget=args.budget,
+                cell_search=args.cell_search or "signature",
+                walk_kernel=args.walk_kernel or "flat",
+            )
+            manager = _make_manager(pool.export_snapshot, pool.import_snapshot)
+            manager.load()
+            manager.start()
+        try:
+            served = serve(sys.stdin, sys.stdout, default_theory=args.theory,
+                           budget=args.budget, cell_search=args.cell_search,
+                           slow_query_ms=args.slow_query_ms, walk_kernel=args.walk_kernel,
+                           pool=pool, snapshot_manager=manager)
+        finally:
+            if manager is not None:
+                manager.close()
         print(f"# served {served} requests", file=sys.stderr)
         return 0
 
@@ -293,6 +322,9 @@ def cmd_serve(args):
         backend=args.backend, slow_query_ms=args.slow_query_ms,
         walk_kernel=args.walk_kernel,
     )
+    manager = _make_manager(server.export_snapshot, server.import_snapshot,
+                            metrics=server.metrics)
+    server.snapshot_manager = manager
 
     exporter = None
     if args.metrics:
@@ -316,6 +348,19 @@ def cmd_serve(args):
     if threading.current_thread() is threading.main_thread():
         signal.signal(signal.SIGTERM, _on_sigterm)
 
+    if manager is not None:
+        # Boot order matters: workers must be up (process backend) before the
+        # snapshot import crosses the pipes.  A missing/invalid snapshot is a
+        # logged cold start, never a startup failure.
+        server.start()
+        server.wait_ready(timeout=120)
+        counts = manager.load()
+        if counts is not None:
+            total = sum(sum(tables.values()) for tables in counts.values())
+            print(f"# warm start: {total} cache entries from {args.snapshot}",
+                  file=sys.stderr)
+        manager.start()
+
     if args.socket:
         host, port = _parse_host_port(args.socket)
         socket_server = SocketServer(host=host, port=port, server=server, ordered=args.ordered)
@@ -328,6 +373,11 @@ def cmd_serve(args):
         except (_Terminated, KeyboardInterrupt):
             pass
         finally:
+            if manager is not None:
+                # Final checkpoint needs live workers: drain in-flight work,
+                # save, then tear the backend down.
+                server.drain()
+                manager.close()
             socket_server.close(drain=True)
             if exporter is not None:
                 exporter.close()
@@ -339,6 +389,9 @@ def cmd_serve(args):
     except _Terminated:
         served = None
     finally:
+        if manager is not None:
+            server.wait_idle(timeout=60)
+            manager.close()
         server.shutdown(drain=True)
         if exporter is not None:
             exporter.close()
@@ -525,6 +578,21 @@ def make_arg_parser():
         help=(
             "expose a Prometheus text endpoint at http://HOST:PORT/metrics "
             "(port 0 = ephemeral; concurrent server only)"
+        ),
+    )
+    serve.add_argument(
+        "--snapshot", metavar="PATH", default=None,
+        help=(
+            "persistent snapshot file: warm-start the caches from PATH at boot "
+            "(missing or stale snapshots are a logged cold start) and write a "
+            "final checkpoint there on clean shutdown"
+        ),
+    )
+    serve.add_argument(
+        "--checkpoint-interval", type=float, default=None, metavar="SECS",
+        help=(
+            "also checkpoint the caches to --snapshot every SECS seconds in "
+            "the background (default: only the final checkpoint on shutdown)"
         ),
     )
     _add_observability_flags(serve)

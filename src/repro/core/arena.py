@@ -8,9 +8,13 @@ deliberately outside the automaton class:
   alphabet used to carry its own ``{symbol: index}`` dict; with thousands of
   cached automata per session that dict dominated the per-instance overhead.
   :func:`intern_sigma` / :func:`sigma_index` keep one canonical tuple and one
-  index dict per distinct alphabet, shared process-wide (the table is capped
-  and reset on overflow — interning is an optimization, never a correctness
-  requirement).
+  index dict per distinct alphabet, shared process-wide.  The table is capped,
+  but overflow only evicts alphabets no *live automaton* still references
+  (:func:`note_sigma_use` tracks users weakly): an alphabet held by a live
+  automaton stays canonical, so the kernels' identity/canonical-table
+  equality fast path keeps working across a reset — interning is an
+  optimization for storage, but *canonicality of live alphabets* is a
+  performance contract the hot compare paths rely on.
 
 * **per-session arena pools** — :class:`ArenaPool` tracks the automata a
   session's compilations produced (weakly, so the ``aut`` LRU's eviction
@@ -24,13 +28,32 @@ from __future__ import annotations
 import threading
 import weakref
 
-#: Reset threshold for the process-wide alphabet interning table.  Alphabets
-#: are per-theory and tiny in number; the cap only guards pathological callers
-#: compiling over unboundedly many distinct alphabets.
+#: Eviction threshold for the process-wide alphabet interning table.
+#: Alphabets are per-theory and tiny in number; the cap only guards
+#: pathological callers compiling over unboundedly many distinct alphabets.
+#: Overflow evicts only entries with no live automaton user — if every entry
+#: is referenced the table grows past the cap rather than break canonicality
+#: (live alphabets are bounded by live automata, so growth is bounded too).
 _INTERN_LIMIT = 4096
 
 _intern_lock = threading.Lock()
 _interned = {}  # sigma tuple -> (canonical tuple, {symbol: index})
+_sigma_users = {}  # canonical tuple -> WeakSet of automata referencing it
+
+
+def _evict_unreferenced_locked():
+    """Drop interned alphabets no live automaton references (lock held).
+
+    Never touches an alphabet with a registered live user: evicting one would
+    hand a *new* canonical tuple to the next equal alphabet, silently breaking
+    sigma identity (and byte-identical canonical tables) between pre- and
+    post-reset automata — the kernels' equality fast path.
+    """
+    stale = [sigma for sigma in _interned if not _sigma_users.get(sigma)]
+    for sigma in stale:
+        del _interned[sigma]
+        _sigma_users.pop(sigma, None)
+    return len(stale)
 
 
 def intern_sigma(sigma):
@@ -45,7 +68,7 @@ def intern_sigma(sigma):
         entry = _interned.get(sigma)
         if entry is None:
             if len(_interned) >= _INTERN_LIMIT:
-                _interned.clear()
+                _evict_unreferenced_locked()
             entry = (sigma, {pi: k for k, pi in enumerate(sigma)})
             _interned[sigma] = entry
         return entry[0]
@@ -57,10 +80,31 @@ def sigma_index(sigma):
         entry = _interned.get(sigma)
         if entry is None:
             if len(_interned) >= _INTERN_LIMIT:
-                _interned.clear()
+                _evict_unreferenced_locked()
             entry = (tuple(sigma), {pi: k for k, pi in enumerate(sigma)})
             _interned[entry[0]] = entry
         return entry[1]
+
+
+def note_sigma_use(sigma, automaton):
+    """Register a live automaton as a user of its (interned) alphabet.
+
+    Called by ``CompiledAutomaton.__init__`` right after interning.  The
+    registration is weak — an automaton's death frees its alphabet for
+    eviction — and it heals the narrow race where the entry was evicted
+    between interning and registration: the automaton's exact tuple is
+    re-installed as canonical, so future equal alphabets intern onto the
+    tuple the live automaton actually holds.
+    """
+    with _intern_lock:
+        entry = _interned.get(sigma)
+        if entry is None or entry[0] is not sigma:
+            entry = (sigma, {pi: k for k, pi in enumerate(sigma)})
+            _interned[sigma] = entry
+        users = _sigma_users.get(sigma)
+        if users is None:
+            users = _sigma_users[sigma] = weakref.WeakSet()
+        users.add(automaton)
 
 
 def interned_alphabets():

@@ -76,7 +76,7 @@ from array import array
 from collections import deque
 
 from repro.core import terms as T
-from repro.core.arena import intern_sigma, sigma_index
+from repro.core.arena import intern_sigma, note_sigma_use, sigma_index
 from repro.core.automata import (
     canonical,
     derivative,
@@ -150,6 +150,10 @@ class CompiledAutomaton:
         object.__setattr__(self, "back", flat_back)
         object.__setattr__(self, "n_states", n_states)
         object.__setattr__(self, "raw_states", raw_states)
+        # Pin the alphabet as canonically interned for this automaton's
+        # lifetime: the intern table's overflow eviction skips alphabets with
+        # live users, preserving the sigma-identity equality fast path.
+        note_sigma_use(sigma, self)
 
     def __setattr__(self, name, value):
         raise AttributeError(

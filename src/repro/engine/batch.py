@@ -81,6 +81,7 @@ ERROR_DEADLINE = "deadline_exceeded"
 ERROR_QUEUE_FULL = "queue_full"
 ERROR_SHUTDOWN = "shutting_down"
 ERROR_WORKER_CRASHED = "worker_crashed"
+ERROR_SNAPSHOT_INVALID = "snapshot_invalid"
 ERROR_INTERNAL = "internal_error"
 
 
@@ -545,6 +546,50 @@ class SessionPool:
         out["shared"] = installed_derivative_stats()
         return out
 
+    def sessions_snapshot(self):
+        """The live ``{preset: session}`` map (copied under the pool lock)."""
+        with self._lock:
+            return dict(self._sessions)
+
+    def export_snapshot(self):
+        """Every live session's cache state as one versioned snapshot payload."""
+        from repro.engine import persist
+
+        return persist.make_payload({
+            name: session.export_state()
+            for name, session in sorted(self.sessions_snapshot().items())
+        })
+
+    def import_snapshot(self, payload):
+        """Warm the pool from a snapshot payload; returns per-theory counts.
+
+        Sessions named by the payload are created on demand.  The whole
+        payload is staged (every session decoded against its live theory)
+        before anything is installed, so a rejected snapshot — foreign
+        format, stale version, theory mismatch, corrupted entry — raises
+        :class:`~repro.utils.errors.SnapshotError` and leaves every cache
+        untouched.
+        """
+        from repro.engine import persist
+        from repro.utils.errors import SnapshotError
+
+        sessions_payload = persist.check_payload(payload)
+        staged = []
+        for name, state in sorted(sessions_payload.items()):
+            try:
+                session = self.session(str(name))
+            except KmtError as error:
+                raise SnapshotError(
+                    f"snapshot references unavailable theory preset {name!r}: {error}"
+                ) from error
+            staged.append(
+                (name, session, persist.stage_session_state(session, state))
+            )
+        counts = {}
+        for name, session, entries in staged:
+            counts[name] = session.caches.install_state(entries)
+        return counts
+
 
 class BatchRunner:
     """Parse, group and execute a JSONL batch on a session pool."""
@@ -576,6 +621,9 @@ class BatchRunner:
         self.jobs = jobs
         self.slow_query_ms = slow_query_ms
         self.metrics = MetricsRegistry()
+        # Attached by the CLI when serving with --snapshot; surfaces the
+        # checkpoint counters as the "snapshot" block of stats responses.
+        self.snapshot_manager = None
 
     def run_lines(self, lines, index_offset=0):
         """Execute an iterable of JSONL lines; returns response dicts in order.
@@ -623,7 +671,10 @@ class BatchRunner:
     def _control_response(self, record, index):
         response = {"id": record.get("id", index), "op": record["op"], "ok": True}
         if record["op"] == "stats":
-            response["result"] = self.pool.stats()
+            result = self.pool.stats()
+            if self.snapshot_manager is not None:
+                result["snapshot"] = self.snapshot_manager.stats()
+            response["result"] = result
         elif record["op"] == "metrics":
             response["result"] = self.metrics.snapshot()
         else:
@@ -705,7 +756,8 @@ def run_batch_lines(lines, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET,
 
 
 def serve(stdin, stdout, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, pool=None,
-          cell_search=None, slow_query_ms=None, walk_kernel=None):
+          cell_search=None, slow_query_ms=None, walk_kernel=None,
+          snapshot_manager=None):
     """The blocking one-at-a-time serve loop (see also :mod:`repro.engine.server`).
 
     One JSON request per stdin line, one answer per line, strictly in order;
@@ -726,6 +778,7 @@ def serve(stdin, stdout, default_theory=DEFAULT_THEORY, budget=DEFAULT_BUDGET, p
     runner = BatchRunner(pool=pool, default_theory=default_theory, budget=budget, jobs=1,
                          cell_search=cell_search, slow_query_ms=slow_query_ms,
                          walk_kernel=walk_kernel)
+    runner.snapshot_manager = snapshot_manager
     served = 0
     for lineno, raw in enumerate(stdin):
         kind, payload = parse_request_line(raw)

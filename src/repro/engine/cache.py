@@ -21,6 +21,12 @@ from repro.engine.intern import fingerprint, fingerprint_normal_form
 
 _MISS = object()
 
+#: Cap on the key→object reverse maps a bundle keeps for snapshot export
+#: (fingerprints are process-local counters, so exporting a table means
+#: recovering the term/normal form behind each key).  Overflow drops the
+#: oldest mappings, which only shrinks what a snapshot can export.
+_KEY_MEMORY_LIMIT = 65536
+
 
 class CacheStats:
     """Hit/miss/eviction counters for one memo table."""
@@ -42,6 +48,13 @@ class CacheStats:
         return self.hits / lookups if lookups else 0.0
 
     def as_dict(self):
+        """A dict view of the counters — **not** torn-read safe.
+
+        Reading four counters while worker threads mutate them can produce a
+        mutually inconsistent snapshot (e.g. a ``put`` counted whose ``miss``
+        is not); aggregators must use :meth:`LRUCache.stats_snapshot`, which
+        reads under the table lock.  Kept for reprs and single-threaded use.
+        """
         return {
             "name": self.name,
             "hits": self.hits,
@@ -53,6 +66,16 @@ class CacheStats:
 
     def __repr__(self):
         return f"CacheStats({self.as_dict()})"
+
+
+class _InFlight:
+    """One in-progress ``get_or_compute`` computation (single-flight state)."""
+
+    __slots__ = ("event", "value")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value = _MISS
 
 
 class LRUCache:
@@ -69,6 +92,7 @@ class LRUCache:
         self.stats = CacheStats(name)
         self._data = OrderedDict()
         self._lock = threading.Lock()
+        self._inflight = {}  # key -> _InFlight (single-flight get_or_compute)
 
     def __len__(self):
         with self._lock:
@@ -97,15 +121,87 @@ class LRUCache:
     def get_or_compute(self, key, compute):
         """Return the cached value for ``key``, computing and storing on miss.
 
-        ``compute`` runs outside the lock, so concurrent misses may compute
-        twice; for the engine's pure functions that is merely redundant work.
+        Single-flight per key: when several threads miss the same cold key
+        concurrently, exactly one runs ``compute()`` (outside the lock — it
+        may be an expensive compile) while the rest wait on a per-key event
+        and receive the leader's value, so an expensive computation never
+        runs twice for one key.  If the leader's ``compute`` raises, the
+        exception propagates to the leader and one waiter retries (becoming
+        the new leader); the rest keep waiting on *its* flight.
+
+        Accounting: the leader records one miss + one put; each served
+        waiter records one hit.
         """
-        value = self.get(key, _MISS)
-        if value is not _MISS:
+        while True:
+            with self._lock:
+                value = self._data.get(key, _MISS)
+                if value is not _MISS:
+                    self._data.move_to_end(key)
+                    self.stats.hits += 1
+                    return value
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    self.stats.misses += 1
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                flight.event.wait()
+                if flight.value is not _MISS:
+                    with self._lock:
+                        self.stats.hits += 1
+                    return flight.value
+                continue  # leader failed; retry (possibly leading this time)
+            try:
+                value = compute()
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.event.set()
+                raise
+            with self._lock:
+                self._inflight.pop(key, None)
+                if key in self._data:
+                    self._data.move_to_end(key)
+                self._data[key] = value
+                self.stats.puts += 1
+                if self.maxsize is not None and len(self._data) > self.maxsize:
+                    self._data.popitem(last=False)
+                    self.stats.evictions += 1
+            flight.value = value
+            flight.event.set()
             return value
-        value = compute()
-        self.put(key, value)
-        return value
+
+    def stats_snapshot(self):
+        """A point-in-time-consistent copy of the counters.
+
+        Taken under the table lock, so the returned dict never mixes counter
+        values from two different instants (``as_dict`` read live attributes
+        and could report a ``put`` whose ``miss`` it missed).
+        """
+        with self._lock:
+            stats = self.stats
+            hits, misses = stats.hits, stats.misses
+            lookups = hits + misses
+            return {
+                "name": stats.name,
+                "hits": hits,
+                "misses": misses,
+                "puts": stats.puts,
+                "evictions": stats.evictions,
+                "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            }
+
+    def items_snapshot(self):
+        """A list copy of ``(key, value)`` pairs (LRU → MRU), taken atomically.
+
+        Does not count as lookups and does not touch recency — this is the
+        read path for snapshot export, not a query.
+        """
+        with self._lock:
+            return list(self._data.items())
 
     def clear(self):
         with self._lock:
@@ -136,6 +232,8 @@ def installed_derivative_stats():
     stats = getattr(installed, "stats", None)
     if installed is None or not isinstance(stats, CacheStats):
         return {"tables": {}}
+    if hasattr(installed, "stats_snapshot"):
+        return {"tables": {"deriv": installed.stats_snapshot()}}
     return {"tables": {"deriv": stats.as_dict()}}
 
 
@@ -180,20 +278,56 @@ class EngineCaches:
         # footprint of whatever the aut LRU still retains (weak tracking — the
         # LRU's eviction policy stays the sole owner of automata lifetime).
         self.arenas = ArenaPool()
+        # Reverse maps from cache keys back to the objects that produced
+        # them, recorded by the key builders.  Fingerprints are process-local
+        # counters, so a snapshot cannot serialize the keys themselves; the
+        # export path walks a table and uses these maps to recover the term /
+        # normal form behind each key, serializing its *source text* instead
+        # (re-fingerprinted at import).  Bounded at ``_KEY_MEMORY_LIMIT``:
+        # overflow drops the oldest mappings, shrinking what a snapshot can
+        # export but never affecting query correctness.
+        self._key_lock = threading.Lock()
+        self._fp_objects = OrderedDict()  # fingerprint -> Term (norm/aut/sig keys)
+        self._nf_objects = OrderedDict()  # NF fingerprint key -> NormalForm
+
+    def _remember(self, table, key, value):
+        with self._key_lock:
+            if key not in table:
+                if len(table) >= _KEY_MEMORY_LIMIT:
+                    table.popitem(last=False)
+                table[key] = value
 
     # -- key builders (duck-typed interface used by repro.core.decision) ----
     def term_key(self, term):
-        return fingerprint(term)
+        key = fingerprint(term)
+        self._remember(self._fp_objects, key, term)
+        return key
 
     def pred_key(self, pred):
         return fingerprint(pred)
 
     def nf_pair_key(self, x, y):
-        return (fingerprint_normal_form(x), fingerprint_normal_form(y))
+        kx, ky = fingerprint_normal_form(x), fingerprint_normal_form(y)
+        self._remember(self._nf_objects, kx, x)
+        self._remember(self._nf_objects, ky, y)
+        return (kx, ky)
 
     def action_pair_key(self, left, right):
         """Key for the signature comparison memo (a restricted-action pair)."""
-        return (fingerprint(left), fingerprint(right))
+        kl, kr = fingerprint(left), fingerprint(right)
+        self._remember(self._fp_objects, kl, left)
+        self._remember(self._fp_objects, kr, right)
+        return (kl, kr)
+
+    def key_object(self, key):
+        """The term a fingerprint key was built from (None if not recorded)."""
+        with self._key_lock:
+            return self._fp_objects.get(key)
+
+    def key_normal_form(self, key):
+        """The normal form an NF fingerprint key was built from (or None)."""
+        with self._key_lock:
+            return self._nf_objects.get(key)
 
     # -- accounting ---------------------------------------------------------
     def all_caches(self):
@@ -218,10 +352,15 @@ class EngineCaches:
         counting the shared table once per session.
         """
         caches = self.all_caches() if include_shared else self.private_caches()
-        per_table = {cache.stats.name: cache.stats.as_dict() for cache in caches}
+        # One locked snapshot per table: the totals are summed over the same
+        # dicts reported per-table, so a stats response can never show totals
+        # that disagree with its own table rows (the counters were previously
+        # read attribute-by-attribute while workers mutated them).
+        snapshots = [cache.stats_snapshot() for cache in caches]
+        per_table = {snap["name"]: snap for snap in snapshots}
         totals = {
-            "hits": sum(cache.stats.hits for cache in caches),
-            "misses": sum(cache.stats.misses for cache in caches),
+            "hits": sum(snap["hits"] for snap in snapshots),
+            "misses": sum(snap["misses"] for snap in snapshots),
         }
         return {"tables": per_table, "totals": totals,
                 "aut_bytes": self.arenas.aut_bytes}
@@ -235,3 +374,197 @@ class EngineCaches:
         """
         for cache in self.private_caches():
             cache.clear()
+        with self._key_lock:
+            self._fp_objects.clear()
+            self._nf_objects.clear()
+
+    # -- snapshot export / import ------------------------------------------
+    # The ``codec`` argument is duck-typed (it comes from
+    # repro.engine.persist.SnapshotCodec, built around one session's theory
+    # and parser); cache.py deliberately does not import persist, keeping the
+    # dependency one-directional.
+    def export_state(self, codec):
+        """Serialize the persistable tables to a JSON-safe dict.
+
+        Exports the ``norm`` / ``aut`` / ``sig`` / ``equiv`` / ``prog``
+        tables — the expensive, replayable state.  The satisfiability memos
+        are skipped (cheap to refill, and their keys carry raw theory
+        objects).  Entries whose keys can no longer be mapped back to terms
+        (reverse-map overflow) or that fail to encode (a custom theory whose
+        primitives do not round-trip) are silently omitted: a snapshot is a
+        warmth transfer, not a backup, so completeness is best-effort.
+
+        Entries are emitted in canonical (term sort-key) order, not cache
+        iteration order: the codec's node pool numbers subterms in encounter
+        order, and a byte-stable snapshot for a given cache *state* requires
+        a deterministic encounter order regardless of access history.
+        """
+        from repro.utils.errors import SnapshotError
+
+        def nf_sort_key(nf):
+            return tuple(
+                (test.sort_key(), action.sort_key())
+                for test, action in nf.sorted_pairs()
+            )
+
+        norm_items = []
+        for key, nf in self.norm.items_snapshot():
+            term = self.key_object(key)
+            if term is not None:
+                norm_items.append((term, nf))
+        norm_items.sort(key=lambda item: item[0].sort_key())
+        norm_entries = []
+        for term, nf in norm_items:
+            try:
+                norm_entries.append(
+                    {"t": codec.encode_term(term), "nf": codec.encode_normal_form(nf)}
+                )
+            except SnapshotError:
+                continue
+        aut_items = []
+        for key, automaton in self.aut.items_snapshot():
+            term = self.key_object(key)
+            if term is not None:
+                aut_items.append((term, automaton))
+        aut_items.sort(key=lambda item: item[0].sort_key())
+        aut_entries = []
+        for term, automaton in aut_items:
+            try:
+                aut_entries.append(
+                    {"t": codec.encode_term(term), "a": codec.encode_automaton(automaton)}
+                )
+            except SnapshotError:
+                continue
+        sig_items = []
+        for key, verdict in self.sig.items_snapshot():
+            kind = "equiv"
+            if isinstance(key, tuple) and len(key) == 2 and key[0] == "incl":
+                kind, key = "incl", key[1]
+            left, right = self.key_object(key[0]), self.key_object(key[1])
+            if left is None or right is None:
+                continue
+            sig_items.append((kind, left, right, verdict))
+        sig_items.sort(
+            key=lambda item: (item[0], item[1].sort_key(), item[2].sort_key()))
+        sig_entries = []
+        for kind, left, right, (ok, word) in sig_items:
+            try:
+                sig_entries.append({
+                    "k": kind,
+                    "l": codec.encode_term(left),
+                    "r": codec.encode_term(right),
+                    "ok": bool(ok),
+                    "w": codec.encode_word(word),
+                })
+            except SnapshotError:
+                continue
+        equiv_items = []
+        for key, result in self.equiv.items_snapshot():
+            kind = "equiv"
+            if isinstance(key, tuple) and len(key) == 2 and key[0] == "incl":
+                kind, key = "incl", key[1]
+            x, y = self.key_normal_form(key[0]), self.key_normal_form(key[1])
+            if x is None or y is None:
+                continue
+            equiv_items.append((kind, x, y, result))
+        equiv_items.sort(
+            key=lambda item: (item[0], nf_sort_key(item[1]), nf_sort_key(item[2])))
+        equiv_entries = []
+        for kind, x, y, result in equiv_items:
+            try:
+                equiv_entries.append({
+                    "k": kind,
+                    "l": codec.encode_normal_form(x),
+                    "r": codec.encode_normal_form(y),
+                    "res": codec.encode_result(result),
+                })
+            except SnapshotError:
+                continue
+        prog_entries = [
+            {"src": text}
+            for text, _ in sorted(
+                self.prog.items_snapshot(), key=lambda item: str(item[0]))
+            if isinstance(text, str)
+        ]
+        return {"tables": {
+            "norm": norm_entries,
+            "aut": aut_entries,
+            "sig": sig_entries,
+            "equiv": equiv_entries,
+            "prog": prog_entries,
+        }}
+
+    def stage_state(self, state, codec):
+        """Decode an exported state into live objects **without installing**.
+
+        Returns the staged ``{table: [entry objects]}`` dict consumed by
+        :meth:`install_state`.  Decoding everything up front is what makes a
+        rejected snapshot atomic: any malformed entry raises (wrapped into
+        ``snapshot_invalid`` by the codec) before a single cache is touched.
+        """
+        tables = state.get("tables")
+        if not isinstance(tables, dict):
+            codec.invalid("snapshot session payload has no tables dict")
+        staged = {"norm": [], "aut": [], "sig": [], "equiv": [], "prog": []}
+        for entry in tables.get("norm", ()):
+            staged["norm"].append(
+                (codec.decode_term(entry["t"]), codec.decode_normal_form(entry["nf"]))
+            )
+        for entry in tables.get("aut", ()):
+            staged["aut"].append(
+                (codec.decode_term(entry["t"]), codec.decode_automaton(entry["a"]))
+            )
+        for entry in tables.get("sig", ()):
+            kind = entry["k"]
+            if kind not in ("equiv", "incl"):
+                codec.invalid(f"unknown sig entry kind {kind!r}")
+            staged["sig"].append((
+                kind,
+                codec.decode_term(entry["l"]),
+                codec.decode_term(entry["r"]),
+                (bool(entry["ok"]), codec.decode_word(entry["w"])),
+            ))
+        for entry in tables.get("equiv", ()):
+            kind = entry["k"]
+            if kind not in ("equiv", "incl"):
+                codec.invalid(f"unknown equiv entry kind {kind!r}")
+            staged["equiv"].append((
+                kind,
+                codec.decode_normal_form(entry["l"]),
+                codec.decode_normal_form(entry["r"]),
+                codec.decode_result(entry["res"], kind),
+            ))
+        for entry in tables.get("prog", ()):
+            staged["prog"].append((entry["src"], codec.decode_program(entry["src"])))
+        return staged
+
+    def install_state(self, staged):
+        """Install a staged state into the live tables; returns import counts.
+
+        Key building goes through the normal key builders, so the reverse
+        maps are re-recorded and an imported entry is re-exportable from this
+        bundle.  Values are plain ``put``s — an import counts as puts, never
+        as synthetic hits/misses.
+        """
+        for term, nf in staged["norm"]:
+            self.norm.put(self.term_key(term), nf)
+        for term, automaton in staged["aut"]:
+            self.aut.put(self.term_key(term), automaton)
+            self.arenas.adopt(automaton)
+        for kind, left, right, verdict in staged["sig"]:
+            key = self.action_pair_key(left, right)
+            if kind == "incl":
+                key = ("incl", key)
+            self.sig.put(key, verdict)
+        for kind, x, y, result in staged["equiv"]:
+            key = self.nf_pair_key(x, y)
+            if kind == "incl":
+                key = ("incl", key)
+            self.equiv.put(key, result)
+        for src, value in staged["prog"]:
+            self.prog.put(src, value)
+        return {name: len(entries) for name, entries in staged.items()}
+
+    def import_state(self, state, codec):
+        """Decode and install an exported state (atomic: stage, then install)."""
+        return self.install_state(self.stage_state(state, codec))

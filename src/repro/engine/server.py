@@ -239,6 +239,55 @@ class ShardedSessionPool:
         out["shared"] = installed_derivative_stats()
         return out
 
+    def export_snapshot(self):
+        """Every stripe session's state, merged into one snapshot payload.
+
+        Stripes of one theory serve disjoint request shards but overlap on
+        cached entries; the merge dedups by serialized key, so the payload is
+        roughly one warm session's worth per theory.
+        """
+        from repro.engine import persist
+
+        with self._lock:
+            sessions = dict(self._sessions)
+        payloads = [
+            persist.make_payload({name: session.export_state()})
+            for (name, _), session in sorted(sessions.items())
+        ]
+        return persist.merge_payloads(payloads)
+
+    def import_snapshot(self, payload):
+        """Warm every stripe from a snapshot payload; returns per-theory counts.
+
+        Each theory's payload is decoded **once** (against the stripe-0
+        session: fingerprints are process-global, so the staged keys are
+        valid for every stripe) and the decoded values — automata, normal
+        forms, verdicts — are installed into all stripes, shared by
+        reference.  Staging completes for every theory before any stripe is
+        touched, keeping rejection atomic.
+        """
+        from repro.engine import persist
+        from repro.utils.errors import SnapshotError
+
+        sessions_payload = persist.check_payload(payload)
+        staged = []
+        for name, state in sorted(sessions_payload.items()):
+            try:
+                primary = self.session(str(name), 0)
+            except KmtError as error:
+                raise SnapshotError(
+                    f"snapshot references unavailable theory preset {name!r}: {error}"
+                ) from error
+            staged.append(
+                (str(name).lower(), persist.stage_session_state(primary, state))
+            )
+        counts = {}
+        for name, entries in staged:
+            for stripe in range(self.stripes):
+                stripe_counts = self.session(name, stripe).caches.install_state(entries)
+            counts[name] = stripe_counts
+        return counts
+
 
 def execute_record(pool, record, default_theory, fallback_id, cancel=None,
                    theory=None, stripe=None):
@@ -383,6 +432,12 @@ class ThreadExecutionBackend:
         # everything is already in the server-side registry.
         return None
 
+    def export_snapshot(self):
+        return self.pool.export_snapshot()
+
+    def import_snapshot(self, payload):
+        return self.pool.import_snapshot(payload)
+
     def shutdown(self):
         pass
 
@@ -432,6 +487,28 @@ def _process_worker_main(conn, config):
         # its late pong mistaken for the next request's reply.
         if tag == "ping":
             conn.send(("pong", message[1], os.getpid()))
+            continue
+        # Snapshot traffic shares the pipe with queries (same seq-echo
+        # discipline).  Import is how a respawned worker comes back warm —
+        # the supervisor hands it the latest payload right after spawn —
+        # and export is how checkpoints collect this worker's tables.
+        if tag == "snapshot_import":
+            _, seq, payload = message
+            try:
+                counts = pool.import_snapshot(payload)
+            except Exception as error:  # noqa: BLE001 — a bad snapshot must not kill the worker
+                conn.send(("snapshot_err", seq, str(error)))
+            else:
+                conn.send(("snapshot_ok", seq, counts))
+            continue
+        if tag == "snapshot_export":
+            seq = message[1]
+            try:
+                payload = pool.export_snapshot()
+            except Exception as error:  # noqa: BLE001
+                conn.send(("snapshot_err", seq, str(error)))
+            else:
+                conn.send(("snapshot_ok", seq, payload))
             continue
         _, seq, wire, fallback_id, remaining_ms, deadline_ms = message
         exec_started = time.monotonic()
@@ -653,6 +730,14 @@ class ProcessExecutionBackend:
         self._stats_lock = threading.Lock()
         self._last_pool_stats = {}  # worker index -> latest cache-stats snapshot
         self._last_metrics = {}     # worker index -> latest metrics snapshot
+        # Latest known-good snapshot payload: installed at boot by
+        # ``import_snapshot`` and refreshed by every ``export_snapshot``
+        # (checkpoint).  A respawned worker is warmed from it over the pipe,
+        # so a SIGKILL'd worker comes back with its caches instead of cold.
+        self._warm_lock = threading.Lock()
+        self._warm_payload = None
+        self.warm_restores = 0
+        self.warm_restore_errors = 0
 
     def start(self):
         if not self._handles:
@@ -681,10 +766,36 @@ class ProcessExecutionBackend:
                 reply = handle.call("ping", timeout=remaining)
             except WorkerCrashed:
                 handle.respawn(generation)
+                self._warm_respawned(handle)
                 return False
             if reply is None or reply[0] != "pong":
                 return False
         return True
+
+    def _warm_respawned(self, handle):
+        """Hand the latest snapshot payload to a freshly respawned worker.
+
+        Best-effort: a worker that cannot be warmed (snapshot decode failure,
+        another crash, timeout) serves cold — warm restarts are an
+        optimization, never a liveness dependency.
+        """
+        with self._warm_lock:
+            payload = self._warm_payload
+        if payload is None:
+            return
+        try:
+            reply = handle.call("snapshot_import", payload, timeout=120.0)
+        except WorkerCrashed as crash:
+            reply = ("snapshot_err", None, str(crash))
+        if reply is not None and reply[0] == "snapshot_ok":
+            self.warm_restores += 1
+            log_event(_log, logging.INFO, "worker_warm_restored",
+                      worker=handle.index, pid=handle.pid, counts=reply[2])
+        else:
+            self.warm_restore_errors += 1
+            detail = "timed out" if reply is None else reply[2]
+            log_event(_log, logging.WARNING, "worker_warm_restore_failed",
+                      worker=handle.index, pid=handle.pid, error=detail)
 
     def execute(self, worker_index, request):
         handle = self._handles[worker_index]
@@ -716,6 +827,7 @@ class ProcessExecutionBackend:
                       worker=handle.index, crashed_pid=crashed_pid,
                       new_pid=handle.pid, restarts=handle.restarts,
                       error=str(crash))
+            self._warm_respawned(handle)
             return error_response(
                 record, request.fallback_id, request.theory,
                 f"{crash}; worker respawned as pid {handle.pid} (the request was "
@@ -750,6 +862,73 @@ class ProcessExecutionBackend:
         if not snapshots:
             return None
         return merge_metrics(snapshots)
+
+    def import_snapshot(self, payload):
+        """Broadcast a snapshot payload to every worker (and remember it).
+
+        Raises :class:`~repro.utils.errors.SnapshotError` if any worker
+        rejects the payload or cannot be reached; workers stage the decode
+        before installing, so a rejecting worker's caches are untouched.
+        Returns the per-theory entry counts reported by the first worker
+        (every worker imports the identical payload).
+        """
+        from repro.engine import persist
+        from repro.utils.errors import SnapshotError
+
+        persist.check_payload(payload)
+        counts = {}
+        failures = []
+        for handle in self._handles:
+            try:
+                reply = handle.call("snapshot_import", payload, timeout=300.0)
+            except WorkerCrashed as crash:
+                failures.append(f"worker {handle.index}: {crash}")
+                continue
+            if reply is None:
+                failures.append(f"worker {handle.index}: snapshot import timed out")
+            elif reply[0] != "snapshot_ok":
+                failures.append(f"worker {handle.index}: {reply[2]}")
+            elif not counts:
+                counts = reply[2]
+        if failures:
+            raise SnapshotError("; ".join(failures))
+        with self._warm_lock:
+            self._warm_payload = payload
+        return counts
+
+    def export_snapshot(self):
+        """Merged snapshot payload collected from every reachable worker.
+
+        Busy or just-crashed workers are skipped (their tables ride the next
+        checkpoint); raises :class:`~repro.utils.errors.SnapshotError` only
+        when *no* worker could contribute, so a checkpoint never replaces a
+        good on-disk snapshot with an empty one.
+        """
+        from repro.engine import persist
+        from repro.utils.errors import SnapshotError
+
+        payloads = []
+        for handle in self._handles:
+            generation = handle.generation
+            try:
+                reply = handle.call("snapshot_export", timeout=60.0)
+            except WorkerCrashed:
+                handle.respawn(generation)
+                self._warm_respawned(handle)
+                continue
+            if reply is None:
+                continue  # worker busy with a long query; skip this round
+            if reply[0] != "snapshot_ok":
+                log_event(_log, logging.WARNING, "snapshot_export_worker_failed",
+                          worker=handle.index, error=reply[2])
+                continue
+            payloads.append(reply[2])
+        if not payloads:
+            raise SnapshotError("no worker could export a snapshot")
+        merged = persist.merge_payloads(payloads)
+        with self._warm_lock:
+            self._warm_payload = merged
+        return merged
 
     def worker_info(self):
         return [
@@ -944,6 +1123,9 @@ class QueryServer:
         self._started = False
         self._started_monotonic = time.monotonic()
         self._started_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+        # Attached by the CLI when serving with ``--snapshot``; surfaced in
+        # ``stats`` responses so operators can watch checkpoint health.
+        self.snapshot_manager = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -1262,7 +1444,22 @@ class QueryServer:
         worker_info = self.backend.worker_info()
         if worker_info is not None:
             out["process_workers"] = worker_info
+            out["warm_restores"] = getattr(self.backend, "warm_restores", 0)
+            out["warm_restore_errors"] = getattr(self.backend, "warm_restore_errors", 0)
+        if self.snapshot_manager is not None:
+            out["snapshot"] = self.snapshot_manager.stats()
         return out
+
+    # ------------------------------------------------------------------
+    # snapshot save / load (see repro.engine.persist)
+    # ------------------------------------------------------------------
+    def export_snapshot(self):
+        """Snapshot payload of the live cache state (all workers merged)."""
+        return self.backend.export_snapshot()
+
+    def import_snapshot(self, payload):
+        """Warm every worker from a snapshot payload; returns entry counts."""
+        return self.backend.import_snapshot(payload)
 
     def metrics_snapshot(self):
         """The aggregated metrics: scheduler registry + merged worker blocks.
@@ -1315,6 +1512,8 @@ class QueryServer:
         if record["op"] == "stats":
             result = self.backend.pool_stats()
             result["server"] = self.server_stats()
+            if self.snapshot_manager is not None:
+                result["snapshot"] = self.snapshot_manager.stats()
             response["result"] = result
         elif record["op"] == "metrics":
             response["result"] = self.metrics_snapshot()

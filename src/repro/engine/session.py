@@ -260,3 +260,28 @@ class EngineSession:
         """Drop all cached results (the session stays usable)."""
         self.caches.clear()
         self._normalizer = Normalizer(self.theory, budget=self.budget)
+
+    # ------------------------------------------------------------------
+    # snapshot save / load (see repro.engine.persist)
+    # ------------------------------------------------------------------
+    def export_state(self):
+        """This session's persistable cache state, stamped with its theory.
+
+        The returned dict is JSON-safe and feeds
+        :meth:`import_state` of a session over the *same* theory — in this
+        process, a respawned worker, or a future restart.
+        """
+        from repro.engine import persist
+
+        return persist.export_session_state(self)
+
+    def import_state(self, state):
+        """Warm this session from an exported state; returns import counts.
+
+        Raises :class:`~repro.utils.errors.SnapshotError` (and touches no
+        cache) if the payload's theory stamp or any entry is invalid — the
+        decode is staged completely before anything is installed.
+        """
+        from repro.engine import persist
+
+        return persist.import_session_state(self, state)

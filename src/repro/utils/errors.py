@@ -136,6 +136,22 @@ class WireProtocolError(KmtError):
         super().__init__(message)
 
 
+class SnapshotError(KmtError):
+    """A persisted cache snapshot could not be written, read, or applied.
+
+    Raised by :mod:`repro.engine.persist` when a snapshot file is truncated,
+    corrupted, carries a foreign format/theory stamp, or fails to decode.
+    Imports are staged before they are installed, so a raised
+    ``SnapshotError`` always leaves the session's caches untouched — there is
+    no partial load.  ``code`` is the stable machine-readable identifier
+    surfaced on error responses and in logs.
+    """
+
+    def __init__(self, message, code="snapshot_invalid"):
+        self.code = code
+        super().__init__(message)
+
+
 class WorkerCrashed(KmtError):
     """A server worker process died while a request was assigned to it.
 

@@ -1,0 +1,531 @@
+"""Tests for the persistent snapshot tier (:mod:`repro.engine.persist`).
+
+Covers the codec round trip (export → import is verdict- and byte-identical,
+driven by hypothesis over random BitVec terms), rejection of truncated /
+corrupted / foreign snapshot files with the stable ``snapshot_invalid`` error
+code and untouched caches, multi-contributor payload merging (pool
+hash-consing + reference remapping), and the end-to-end warm-start paths:
+``kmt serve --snapshot`` restart and a SIGKILL'd process-backend worker that
+comes back warm.  The cache-integrity regressions that shipped with this tier
+(torn stats reads, duplicate compiles on a concurrent miss, alphabet-intern
+resets) live here too.
+"""
+
+import io
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import arena
+from repro.engine import persist
+from repro.engine.batch import SessionPool
+from repro.engine.cache import LRUCache
+from repro.engine.persist import (
+    CheckpointManager,
+    SnapshotStore,
+    make_payload,
+    merge_payloads,
+)
+from repro.engine.session import EngineSession
+from repro.theories.bitvec import BitVecTheory
+from repro.utils.errors import SnapshotError
+from tests.conftest import bitvec_terms
+
+
+def _session():
+    return EngineSession(BitVecTheory(variables=("a", "b", "c")))
+
+
+def _table_sizes(session):
+    tables = session.stats(include_shared=False)["tables"]
+    return {name: stats["puts"] for name, stats in tables.items()}
+
+
+def record(**fields):
+    return json.dumps(fields)
+
+
+# ---------------------------------------------------------------------------
+# codec round trip
+# ---------------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @settings(max_examples=30)
+    @given(bitvec_terms(max_leaves=3), bitvec_terms(max_leaves=3))
+    def test_export_import_is_verdict_and_byte_identical(self, left, right):
+        donor = _session()
+        verdict = donor.check_equivalent(left, right)
+        state = donor.export_state()
+        blob = json.dumps(state, sort_keys=True)
+
+        warm = _session()
+        warm.import_state(json.loads(blob))
+        replay = warm.check_equivalent(left, right)
+        assert replay.equivalent == verdict.equivalent
+        assert replay.cached is True
+        if verdict.counterexample is not None:
+            assert replay.counterexample.word == verdict.counterexample.word
+            assert replay.counterexample.cell == verdict.counterexample.cell
+        # The warm session re-exports to the very same bytes: entry order is
+        # canonical (sort keys, not access order), so is the node pool.
+        assert json.dumps(warm.export_state(), sort_keys=True) == blob
+
+    def test_import_counts_reported(self):
+        donor = _session()
+        donor.check_equivalent("(a := T)*", "(a := T)*; (a := T)*")
+        warm = _session()
+        counts = warm.import_state(donor.export_state())
+        assert counts["equiv"] == 1
+        assert counts["norm"] > 0
+        assert counts["aut"] > 0
+
+    def test_store_save_load_round_trip(self, tmp_path):
+        pool = SessionPool()
+        session = pool.session("bitvec")
+        session.check_equivalent("(b := T)*", "(b := T)*; (b := T)*")
+        path = tmp_path / "snap.json"
+        store = SnapshotStore(path)
+        store.save(pool.export_snapshot())
+
+        warm_pool = SessionPool()
+        warm_pool.import_snapshot(store.load())
+        warm = warm_pool.session("bitvec")
+        result = warm.check_equivalent("(b := T)*", "(b := T)*; (b := T)*")
+        assert result.equivalent and result.cached
+
+
+# ---------------------------------------------------------------------------
+# rejection: every bad snapshot is `snapshot_invalid` and leaves caches alone
+# ---------------------------------------------------------------------------
+
+
+def _donor_snapshot(tmp_path):
+    pool = SessionPool()
+    pool.session("bitvec").check_equivalent("(a := T)*", "(a := T)*; (a := T)*")
+    path = tmp_path / "snap.json"
+    SnapshotStore(path).save(pool.export_snapshot())
+    return path
+
+
+def _assert_rejected_cold(path):
+    """Loading/importing ``path`` must fail with the stable code, no effects."""
+    pool = SessionPool()
+    with pytest.raises(SnapshotError) as excinfo:
+        pool.import_snapshot(SnapshotStore(path).load())
+    assert excinfo.value.code == "snapshot_invalid"
+    session = pool.session("bitvec")
+    assert _table_sizes(session) == {name: 0 for name in _table_sizes(session)}
+    # The session still answers queries after the failed import.
+    assert session.check_equivalent("a := T", "a := T").equivalent
+
+
+class TestRejection:
+    def test_truncated_file(self, tmp_path):
+        path = _donor_snapshot(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        _assert_rejected_cold(path)
+
+    def test_corrupted_file(self, tmp_path):
+        path = _donor_snapshot(tmp_path)
+        path.write_bytes(b"\x00\xffnot json at all")
+        _assert_rejected_cold(path)
+
+    def test_version_bump(self, tmp_path):
+        path = _donor_snapshot(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["version"] += 1
+        path.write_text(json.dumps(payload))
+        _assert_rejected_cold(path)
+
+    def test_foreign_magic(self, tmp_path):
+        path = _donor_snapshot(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["format"] = "someone-elses-cache"
+        path.write_text(json.dumps(payload))
+        _assert_rejected_cold(path)
+
+    def test_theory_stamp_mismatch(self, tmp_path):
+        path = _donor_snapshot(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["sessions"]["bitvec"]["theory"] = "bitvec(z9)"
+        path.write_text(json.dumps(payload))
+        _assert_rejected_cold(path)
+
+    def test_missing_file_is_plain_error_not_crash(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            SnapshotStore(tmp_path / "nope.json").load()
+
+    @pytest.mark.parametrize("mutate", [
+        lambda pool: pool.append(["??", 0]),            # unknown tag
+        lambda pool: pool.append(["*"]),                # wrong arity
+        lambda pool: pool.append(["*", len(pool) + 5]),  # out-of-range ref
+        lambda pool: pool.append(["*", True]),          # bool is not a ref
+        lambda pool: pool.append("not-a-node"),         # non-list node
+        lambda pool: pool.append([";", 0]),             # binary tag, one child
+    ])
+    def test_malformed_pool_node(self, tmp_path, mutate):
+        path = _donor_snapshot(tmp_path)
+        payload = json.loads(path.read_text())
+        mutate(payload["sessions"]["bitvec"]["pool"])
+        path.write_text(json.dumps(payload))
+        # A node nothing references is still validated: the pool loads as a
+        # unit, so junk anywhere in it must reject the whole snapshot.
+        _assert_rejected_cold(path)
+
+    def test_entry_reference_out_of_range(self, tmp_path):
+        path = _donor_snapshot(tmp_path)
+        payload = json.loads(path.read_text())
+        state = payload["sessions"]["bitvec"]
+        state["tables"]["norm"][0]["t"] = len(state["pool"]) + 7
+        path.write_text(json.dumps(payload))
+        _assert_rejected_cold(path)
+
+    def test_failed_import_leaves_warm_caches_untouched(self, tmp_path):
+        path = _donor_snapshot(tmp_path)
+        pool = SessionPool()
+        session = pool.session("bitvec")
+        session.check_equivalent("(b := F)*", "(b := F)*; (b := F)*")
+        before = _table_sizes(session)
+        payload = json.loads(path.read_text())
+        payload["sessions"]["bitvec"]["pool"].append(["??"])
+        with pytest.raises(SnapshotError):
+            pool.import_snapshot(payload)
+        assert _table_sizes(session) == before
+        assert session.check_equivalent("(b := F)*", "(b := F)*; (b := F)*").cached
+
+
+# ---------------------------------------------------------------------------
+# merging payloads from several contributors (stripes / worker processes)
+# ---------------------------------------------------------------------------
+
+
+class TestMergePayloads:
+    def _payload(self, *pairs):
+        pool = SessionPool()
+        session = pool.session("bitvec")
+        for left, right in pairs:
+            session.check_equivalent(left, right)
+        return pool.export_snapshot()
+
+    def test_overlap_is_deduped_and_disjoint_union_kept(self):
+        shared = ("(a := T)*", "(a := T)*; (a := T)*")
+        one = self._payload(shared)
+        two = self._payload(shared, ("(b := F)*", "(b := F)*; (b := F)*"))
+        merged = merge_payloads([one, two])
+
+        pool = SessionPool()
+        counts = pool.import_snapshot(merged)["bitvec"]
+        assert counts["equiv"] == 2  # the shared entry appears once
+        warm = pool.session("bitvec")
+        assert warm.check_equivalent(*shared).cached
+        assert warm.check_equivalent("(b := F)*", "(b := F)*; (b := F)*").cached
+
+    def test_merge_is_idempotent(self):
+        payload = self._payload(("(a := T)*", "(a := T)*; (a := T)*"))
+        once = json.dumps(merge_payloads([payload]), sort_keys=True)
+        twice = json.dumps(merge_payloads([payload, payload]), sort_keys=True)
+        assert once == twice
+
+    def test_mismatched_theory_contributor_is_skipped(self):
+        keep = self._payload(("(a := T)*", "(a := T)*; (a := T)*"))
+        stale = json.loads(json.dumps(
+            self._payload(("(b := F)*", "(b := F)*; (b := F)*"))))
+        stale["sessions"]["bitvec"]["theory"] = "bitvec(stale)"
+        merged = merge_payloads([keep, stale])
+        counts = SessionPool().import_snapshot(merged)["bitvec"]
+        assert counts["equiv"] == 1  # the stale contributor's entry is dropped
+
+    def test_malformed_contributor_is_skipped_not_fatal(self):
+        keep = self._payload(("(a := T)*", "(a := T)*; (a := T)*"))
+        bad = json.loads(json.dumps(keep))
+        bad["sessions"]["bitvec"]["pool"].append(["??"])
+        merged = merge_payloads([bad, keep])
+        # The malformed payload came first, so its session slot exists but
+        # contributes nothing; the good contributor still lands.
+        counts = SessionPool().import_snapshot(merged)["bitvec"]
+        assert counts["equiv"] == 1
+
+
+# ---------------------------------------------------------------------------
+# checkpoint manager
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointManager:
+    def test_cold_start_when_file_missing(self, tmp_path):
+        pool = SessionPool()
+        manager = CheckpointManager(
+            SnapshotStore(tmp_path / "snap.json"),
+            pool.export_snapshot, importer=pool.import_snapshot)
+        assert manager.load() is None
+        stats = manager.stats()
+        assert stats["loads"] == 0
+        manager.close()
+
+    def test_final_checkpoint_on_close_and_reload(self, tmp_path):
+        path = tmp_path / "snap.json"
+        pool = SessionPool()
+        pool.session("bitvec").check_equivalent("(a := T)*", "(a := T)*; (a := T)*")
+        manager = CheckpointManager(
+            SnapshotStore(path), pool.export_snapshot, importer=pool.import_snapshot)
+        manager.close()  # final checkpoint even without start()
+        assert path.exists()
+
+        warm_pool = SessionPool()
+        warm_manager = CheckpointManager(
+            SnapshotStore(path), warm_pool.export_snapshot,
+            importer=warm_pool.import_snapshot)
+        counts = warm_manager.load()
+        assert counts["bitvec"]["equiv"] == 1
+        stats = warm_manager.stats()
+        assert stats["loads"] == 1 and stats["loaded_entries"] > 0
+        warm_manager.close()
+
+    def test_corrupt_file_on_boot_is_logged_cold_start(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text("garbage")
+        pool = SessionPool()
+        manager = CheckpointManager(
+            SnapshotStore(path), pool.export_snapshot, importer=pool.import_snapshot)
+        assert manager.load() is None  # lenient: boot must not die on a bad file
+        assert manager.stats()["load_errors"] == 1
+        manager.close()
+
+
+# ---------------------------------------------------------------------------
+# regression: torn stats reads
+# ---------------------------------------------------------------------------
+
+
+class TestStatsSnapshotConsistency:
+    def test_counters_never_tear_under_concurrent_traffic(self):
+        """``stats_snapshot`` is taken under the table lock, so an observer
+        can never see a ``put`` whose leading ``miss`` it missed (the old
+        attribute-by-attribute read could, making hit rates nonsensical)."""
+        cache = LRUCache(maxsize=64, name="t")
+        stop = threading.Event()
+        torn = []
+
+        def hammer(seed):
+            for index in range(4000):
+                cache.get_or_compute((seed, index % 97), lambda: index)
+
+        def poll():
+            while not stop.is_set():
+                snap = cache.stats_snapshot()
+                if snap["puts"] > snap["misses"]:
+                    torn.append(snap)
+                lookups = snap["hits"] + snap["misses"]
+                expected = round(snap["hits"] / lookups, 4) if lookups else 0.0
+                if snap["hit_rate"] != expected:
+                    torn.append(snap)
+
+        workers = [threading.Thread(target=hammer, args=(seed,)) for seed in range(4)]
+        poller = threading.Thread(target=poll)
+        poller.start()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        stop.set()
+        poller.join()
+        assert torn == []
+
+
+# ---------------------------------------------------------------------------
+# regression: duplicate compile on a concurrent miss
+# ---------------------------------------------------------------------------
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_compute_once_and_share_the_object(self):
+        cache = LRUCache(maxsize=16, name="t")
+        threads = 8
+        barrier = threading.Barrier(threads)
+        calls = []
+        results = []
+        lock = threading.Lock()
+
+        def compute():
+            calls.append(1)
+            time.sleep(0.02)  # long enough for every waiter to pile up
+            return object()
+
+        def worker():
+            barrier.wait()
+            value = cache.get_or_compute("hot", compute)
+            with lock:
+                results.append(value)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert len(calls) == 1, "compute ran more than once for one key"
+        assert all(value is results[0] for value in results)
+        snap = cache.stats_snapshot()
+        assert snap["misses"] == 1 and snap["puts"] == 1
+        assert snap["hits"] == threads - 1
+
+    def test_leader_failure_elects_a_new_leader(self):
+        cache = LRUCache(maxsize=16, name="t")
+        threads = 4
+        barrier = threading.Barrier(threads)
+        attempts = []
+        results = []
+        lock = threading.Lock()
+
+        def compute():
+            with lock:
+                attempts.append(1)
+                first = len(attempts) == 1
+            if first:
+                time.sleep(0.01)
+                raise RuntimeError("leader died")
+            return "ok"
+
+        def worker():
+            barrier.wait()
+            try:
+                value = cache.get_or_compute("hot", compute)
+            except RuntimeError:
+                value = "raised"
+            with lock:
+                results.append(value)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert results.count("raised") == 1  # only the failed leader sees it
+        assert results.count("ok") == threads - 1
+
+
+# ---------------------------------------------------------------------------
+# regression: alphabet-intern reset broke live-sigma identity
+# ---------------------------------------------------------------------------
+
+
+class TestInternOverflowKeepsLiveAlphabets:
+    def test_live_alphabet_survives_overflow(self, monkeypatch):
+        """Overflow used to clear the whole intern table; a live automaton's
+        alphabet then re-interned onto a *different* canonical tuple and the
+        kernels' identity fast path silently stopped firing."""
+        sigma = ("persist-test-p", "persist-test-q")
+        canon = arena.intern_sigma(sigma)
+
+        class LiveAutomaton:
+            pass
+
+        holder = LiveAutomaton()
+        arena.note_sigma_use(canon, holder)
+
+        monkeypatch.setattr(arena, "_INTERN_LIMIT", 4)
+        for index in range(64):  # far past the cap: forces eviction sweeps
+            arena.intern_sigma((f"persist-test-junk-{index}",))
+
+        assert arena.intern_sigma(("persist-test-p", "persist-test-q")) is canon
+        assert arena.sigma_index(canon) == {"persist-test-p": 0, "persist-test-q": 1}
+        del holder  # release: the alphabet is evictable again (no assertion —
+        # WeakSet clearing is GC-timing dependent; liveness is what's gated)
+
+
+# ---------------------------------------------------------------------------
+# end to end: serve --snapshot restart, process-backend warm respawn
+# ---------------------------------------------------------------------------
+
+
+class TestServeSnapshotRestart:
+    def _serve(self, monkeypatch, capsys, snapshot, lines):
+        from repro.cli import main
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        code = main(["serve", "--workers", "2", "--snapshot", str(snapshot)])
+        captured = capsys.readouterr()
+        assert code == 0
+        return [json.loads(line) for line in captured.out.splitlines()], captured.err
+
+    def test_restart_answers_first_repeat_from_the_snapshot(
+            self, monkeypatch, capsys, tmp_path):
+        snapshot = tmp_path / "serve.json"
+        query = record(op="equiv", theory="bitvec", id="q",
+                       left="(b := T)*", right="(b := T)*; (b := T)*")
+
+        replies, _ = self._serve(
+            monkeypatch, capsys, snapshot, [query, record(op="quit")])
+        first = next(r for r in replies if r.get("id") == "q")
+        assert first["ok"] and first["result"]["equivalent"]
+        assert snapshot.exists()  # final checkpoint on clean shutdown
+
+        traced = json.loads(query)
+        traced["trace"] = True
+        replies, err = self._serve(
+            monkeypatch, capsys, snapshot,
+            [json.dumps(traced), record(op="stats", id="s"), record(op="quit")])
+        assert "warm start" in err
+        repeat = next(r for r in replies if r.get("id") == "q")
+        assert repeat["ok"] and repeat["result"]["equivalent"]
+        cache_deltas = repeat["trace"]["cache"]
+        assert cache_deltas["equiv"]["hits"] >= 1, (
+            f"first repeated query missed the imported equiv memo: {cache_deltas}")
+        assert cache_deltas["equiv"]["misses"] == 0
+        stats = next(r for r in replies if r.get("id") == "s")
+        assert "snapshot" in json.dumps(stats)
+
+    def test_checkpoint_interval_requires_snapshot(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main(["serve", "--checkpoint-interval", "5"]) == 2
+
+
+@pytest.mark.slow
+class TestProcessBackendWarmRespawn:
+    def test_sigkilled_worker_comes_back_warm(self):
+        from repro.engine.server import QueryServer, ResponseSink
+
+        server = QueryServer(workers=2, stripes=2, backend="process")
+        server.start()
+        assert server.wait_ready(timeout=120)
+        try:
+            responses = []
+            sink = ResponseSink(lambda line: responses.append(json.loads(line)))
+
+            def ask(obj):
+                server.submit_line(json.dumps(obj), sink)
+                server.wait_idle(timeout=120)
+
+            query = {"op": "equiv", "theory": "bitvec",
+                     "left": "(b := T)*", "right": "(b := T)*; (b := T)*"}
+            ask(dict(query, id=1))
+            assert responses[0]["ok"] and responses[0]["result"]["equivalent"]
+
+            server.export_snapshot()  # arms the supervisor's warm payload
+
+            for worker in server.backend.worker_info():
+                os.kill(worker["pid"], signal.SIGKILL)
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if server.wait_ready(timeout=120):
+                    break
+            assert server.backend.warm_restores >= 1
+            assert server.backend.warm_restore_errors == 0
+
+            responses.clear()
+            ask(dict(query, id=2, trace=True))
+            repeat = responses[0]
+            assert repeat["ok"] and repeat["result"]["equivalent"]
+            cache_deltas = repeat["trace"]["cache"]
+            assert cache_deltas["equiv"]["hits"] >= 1, (
+                f"respawned worker answered cold: {cache_deltas}")
+        finally:
+            server.shutdown(drain=True)
