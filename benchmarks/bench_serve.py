@@ -171,17 +171,25 @@ def make_heavy_workload(total):
     return lines
 
 
-def _run_mode(name, lines, delay_ms, runner, oracle_counted=True):
+#: Runner return marker: "count oracle calls with the in-process counter".
+#: The process runner instead returns its own measured count (or ``None``) —
+#: its oracle calls happen inside worker processes where the in-process
+#: counter cannot see them.
+_COUNT_IN_PROCESS = object()
+
+
+def _run_mode(name, lines, delay_ms, runner):
     """Run one serving configuration on a fresh process-cache world.
 
     Each mode gets its own derivative memo (the real one is process-wide and
     would leak warm state from one mode into the next) and fresh sessions via
     a fresh latency-wrapped theory factory.  ``runner`` builds and starts its
-    server *outside* the timed window and returns the elapsed serving time.
-    ``oracle_counted=False`` (the process backend: its oracle calls happen in
-    worker processes, invisible to this counter) reports ``oracle_calls`` as
-    ``null`` — distinct from a genuine in-process zero, which would indicate
-    a workload that stopped exercising the oracle.
+    server *outside* the timed window and returns ``(elapsed_seconds,
+    oracle_calls)`` where ``oracle_calls`` is :data:`_COUNT_IN_PROCESS` (use
+    the shared in-process counter — the thread modes), an exact count (the
+    process backend pulls it off the worker stats pipe after the drain), or
+    ``None`` (genuinely uncountable — distinct from a real zero, which would
+    indicate a workload that stopped exercising the oracle).
     """
     counter = CallCounter()
 
@@ -193,15 +201,17 @@ def _run_mode(name, lines, delay_ms, runner, oracle_counted=True):
     try:
         stdin = io.StringIO("\n".join(lines) + "\n")
         stdout = io.StringIO()
-        elapsed = runner(stdin, stdout, delay_ms, theory_factory)
+        elapsed, oracle_calls = runner(stdin, stdout, delay_ms, theory_factory)
     finally:
         automata.set_derivative_cache(saved)
+    if oracle_calls is _COUNT_IN_PROCESS:
+        oracle_calls = counter.calls
     responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
     return {
         "mode": name,
         "seconds": round(elapsed, 4),
         "qps": round(len(lines) / elapsed, 1) if elapsed else float("inf"),
-        "oracle_calls": counter.calls if oracle_counted else None,
+        "oracle_calls": oracle_calls,
         "responses": responses,
     }
 
@@ -210,7 +220,7 @@ def _loop_runner(stdin, stdout, delay_ms, theory_factory):
     pool = SessionPool(theory_factory=theory_factory)
     started = time.perf_counter()
     serve(stdin, stdout, pool=pool)
-    return time.perf_counter() - started
+    return time.perf_counter() - started, _COUNT_IN_PROCESS
 
 
 def _thread_runner(workers):
@@ -221,11 +231,27 @@ def _thread_runner(workers):
         try:
             started = time.perf_counter()
             serve_stdio(stdin, stdout, server=server)
-            return time.perf_counter() - started
+            return time.perf_counter() - started, _COUNT_IN_PROCESS
         finally:
             server.shutdown(drain=True)
 
     return run
+
+
+def _worker_oracle_calls(server):
+    """Exact post-drain oracle-call total summed over the worker processes.
+
+    The env-configured oracle wrapper counts into each worker's process-global
+    metrics registry; ``refresh_stats`` pulls a fresh snapshot over the stats
+    pipe (the periodic piggyback could trail by up to 15 responses), and the
+    merged ``oracle_calls_total`` counter is the cluster-wide total.
+    """
+    server.backend.refresh_stats(timeout=60.0)
+    merged = server.backend.worker_metrics()
+    if merged is None:
+        return None
+    entries = merged.get("counters", {}).get("oracle_calls_total", [])
+    return int(sum(entry["value"] for entry in entries))
 
 
 def _process_runner(workers):
@@ -245,7 +271,12 @@ def _process_runner(workers):
                     raise AssertionError("process worker pool failed to become ready")
                 started = time.perf_counter()
                 serve_stdio(stdin, stdout, server=server)
-                return time.perf_counter() - started
+                elapsed = time.perf_counter() - started
+                # At zero delay the factory returns unwrapped theories —
+                # nothing counts, and reporting 0 would read as "the workload
+                # stopped exercising the oracle"; stay honest with null.
+                oracle = _worker_oracle_calls(server) if delay_ms else None
+                return elapsed, oracle
             finally:
                 server.shutdown(drain=True)
         finally:
@@ -289,8 +320,7 @@ def run_comparison(lines, delay_ms):
     loop = _run_mode("single_loop", lines, delay, _loop_runner)
     one = _run_mode("server_1", lines, delay, _thread_runner(1))
     many = _run_mode(f"server_{WORKERS}", lines, delay, _thread_runner(WORKERS))
-    proc = _run_mode(f"server_proc_{WORKERS}", lines, delay, _process_runner(WORKERS),
-                     oracle_counted=False)
+    proc = _run_mode(f"server_proc_{WORKERS}", lines, delay, _process_runner(WORKERS))
     _verify_responses(lines, [loop, one, many, proc])
     for result in (loop, one, many, proc):
         del result["responses"]  # verified; keep the artifact small

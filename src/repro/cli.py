@@ -291,6 +291,10 @@ def cmd_serve(args):
             print("error: --metrics requires the concurrent server (drop --legacy)",
                   file=sys.stderr)
             return 2
+        if args.theory_factory:
+            print("error: --theory-factory requires the concurrent server "
+                  "(drop --legacy)", file=sys.stderr)
+            return 2
         from repro.engine.batch import SessionPool, serve
 
         pool = manager = None
@@ -320,7 +324,7 @@ def cmd_serve(args):
         workers=args.workers, stripes=args.stripes, queue_limit=args.queue_limit,
         default_theory=args.theory, budget=args.budget, cell_search=args.cell_search,
         backend=args.backend, slow_query_ms=args.slow_query_ms,
-        walk_kernel=args.walk_kernel,
+        walk_kernel=args.walk_kernel, theory_factory_spec=args.theory_factory,
     )
     manager = _make_manager(server.export_snapshot, server.import_snapshot,
                             metrics=server.metrics)
@@ -400,6 +404,94 @@ def cmd_serve(args):
     else:
         print("# terminated; in-flight requests drained", file=sys.stderr)
     return 0
+
+
+def cmd_route(args):
+    import signal
+    import threading
+
+    _configure_observability(args)
+    from repro.engine.router import Router
+    from repro.engine.server import SocketServer
+
+    host, port = _parse_host_port(args.socket)
+    router = Router(
+        args.backends, queue_limit=args.queue_limit, ring_replicas=args.ring_replicas,
+        max_retries=args.max_retries, probe_interval=args.probe_interval,
+        probe_timeout=args.probe_timeout, rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+    )
+
+    exporter = None
+    if args.metrics:
+        from repro.engine.telemetry import MetricsExporter
+
+        metrics_host, metrics_port = _parse_host_port(args.metrics, flag="--metrics")
+        exporter = MetricsExporter(router.metrics_prometheus,
+                                   host=metrics_host, port=metrics_port)
+        exporter.start()
+        print(f"# metrics on http://{exporter.host}:{exporter.port}/metrics",
+              file=sys.stderr)
+
+    class _Terminated(Exception):
+        pass
+
+    def _on_sigterm(_signum, _frame):
+        raise _Terminated()
+
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, _on_sigterm)
+
+    socket_server = SocketServer(host=host, port=port, server=router,
+                                 ordered=args.ordered)
+    socket_server.start()
+    # Backends that are already up join the ring during start(); late ones
+    # are picked up by the probe loop — routing with a partial ring is fine.
+    router.wait_all_up(timeout=args.wait_backends)
+    up = len(router.ring)
+    print(f"# routing on {host}:{socket_server.port} "
+          f"({up}/{len(args.backends)} backends up, "
+          f"queue limit {args.queue_limit})", file=sys.stderr)
+    try:
+        threading.Event().wait()  # route until SIGTERM / SIGINT
+    except (_Terminated, KeyboardInterrupt):
+        pass
+    finally:
+        socket_server.close(drain=True)
+        if exporter is not None:
+            exporter.close()
+        print("# drained and stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_query(args):
+    import json
+
+    from repro.engine.client import SocketClient
+
+    host, port = _parse_host_port(args.connect, flag="--connect")
+    if args.request == "-":
+        raw = sys.stdin.readline()
+    elif args.request.startswith("@"):
+        with open(args.request[1:], "r", encoding="utf-8") as handle:
+            raw = handle.read()
+    else:
+        raw = args.request
+    try:
+        record = json.loads(raw)
+    except ValueError as error:
+        raise KmtError(f"request must be a JSON object: {error}")
+    if not isinstance(record, dict):
+        raise KmtError(f"request must be a JSON object, got {type(record).__name__}")
+    record.setdefault("id", "q0")
+    try:
+        with SocketClient(host, port, connect_timeout=args.timeout,
+                          io_timeout=args.timeout) as client:
+            response = client.request(record, timeout=args.timeout)
+    except (ConnectionError, TimeoutError) as error:
+        raise KmtError(str(error))
+    print(json.dumps(response, sort_keys=True))
+    return 0 if response.get("ok") else 1
 
 
 def make_arg_parser():
@@ -589,6 +681,14 @@ def make_arg_parser():
         ),
     )
     serve.add_argument(
+        "--theory-factory", metavar="MODULE:ATTR", default=None,
+        help=(
+            "theory-factory spec resolved inside each worker (testing and "
+            "benchmark hook — e.g. repro.engine.testing:oracle_latency_factory "
+            "reads KMT_TEST_ORACLE_* from the environment); concurrent server only"
+        ),
+    )
+    serve.add_argument(
         "--checkpoint-interval", type=float, default=None, metavar="SECS",
         help=(
             "also checkpoint the caches to --snapshot every SECS seconds in "
@@ -597,6 +697,90 @@ def make_arg_parser():
     )
     _add_observability_flags(serve)
     serve.set_defaults(func=cmd_serve)
+
+    route = sub.add_parser(
+        "route",
+        help=(
+            "consistent-hash router over N `kmt serve --socket` backends: "
+            "same JSONL protocol, sticky cache affinity, failover, per-client "
+            "rate limits and a priority field; see the README's Cluster section"
+        ),
+    )
+    route.add_argument(
+        "--socket", metavar="HOST:PORT", required=True,
+        help="listen address for clients (port 0 = ephemeral)",
+    )
+    route.add_argument(
+        "--backend", metavar="HOST:PORT", action="append", required=True,
+        dest="backends",
+        help="a backend server address; repeat once per backend",
+    )
+    route.add_argument(
+        "--queue-limit", type=int, default=256,
+        help="max in-flight requests across all backends before intake blocks",
+    )
+    route.add_argument(
+        "--ordered", action="store_true",
+        help="emit responses in submission order instead of completion order",
+    )
+    route.add_argument(
+        "--ring-replicas", type=int, default=64,
+        help="virtual nodes per backend on the hash ring (default: 64)",
+    )
+    route.add_argument(
+        "--max-retries", type=int, default=2,
+        help="replicas to retry an in-flight request on after its backend dies",
+    )
+    route.add_argument(
+        "--probe-interval", type=float, default=1.0, metavar="SECS",
+        help="seconds between backend health probes / rejoin attempts",
+    )
+    route.add_argument(
+        "--probe-timeout", type=float, default=5.0, metavar="SECS",
+        help="seconds before an unanswered probe ejects a backend",
+    )
+    route.add_argument(
+        "--rate-limit", type=float, default=None, metavar="QPS",
+        help=(
+            "per-client token-bucket admission limit in queries/second "
+            "(default: off); excess answers a rate_limited error"
+        ),
+    )
+    route.add_argument(
+        "--rate-burst", type=float, default=None, metavar="N",
+        help="token-bucket burst capacity (default: 2x the rate)",
+    )
+    route.add_argument(
+        "--wait-backends", type=float, default=10.0, metavar="SECS",
+        help="seconds to wait for all backends before serving anyway",
+    )
+    route.add_argument(
+        "--metrics", metavar="HOST:PORT", default=None,
+        help="expose the router's Prometheus endpoint at http://HOST:PORT/metrics",
+    )
+    _add_observability_flags(route)
+    route.set_defaults(func=cmd_route)
+
+    query = sub.add_parser(
+        "query",
+        help=(
+            "send one JSONL request to a running server or router over TCP "
+            "and print the response"
+        ),
+    )
+    query.add_argument(
+        "--connect", metavar="HOST:PORT", required=True,
+        help="address of a `kmt serve --socket` server or `kmt route` router",
+    )
+    query.add_argument(
+        "request", nargs="?", default="-",
+        help="JSON request object, @path to a file, or '-' for stdin (default)",
+    )
+    query.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECS",
+        help="connect/read timeout in seconds (default: 30)",
+    )
+    query.set_defaults(func=cmd_query)
     return parser
 
 

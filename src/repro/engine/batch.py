@@ -83,6 +83,11 @@ ERROR_SHUTDOWN = "shutting_down"
 ERROR_WORKER_CRASHED = "worker_crashed"
 ERROR_SNAPSHOT_INVALID = "snapshot_invalid"
 ERROR_INTERNAL = "internal_error"
+# Cluster-router codes (see repro.engine.router): a request whose backend —
+# and every retry replica — is unreachable answers ``backend_down``; a client
+# over its token-bucket budget is refused with ``rate_limited``.
+ERROR_BACKEND_DOWN = "backend_down"
+ERROR_RATE_LIMITED = "rate_limited"
 
 
 def parse_request_line(raw):

@@ -131,15 +131,27 @@ _AFFINITY_FIELDS = ("op", "left", "right", "term", "pred", "word",
 _LATENCY_WINDOW = 4096
 
 
+def affinity_hash(record):
+    """Stable content hash of a query's shard-affinity fields.
+
+    crc32 (not ``hash``) keeps the value stable across processes and
+    ``PYTHONHASHSEED``.  This is the *shared* routing key: the server maps it
+    onto ``range(stripes)`` to pick a warm session, and the cluster router
+    (:mod:`repro.engine.router`) feeds the same value into its consistent-hash
+    ring — so a query lands on the same warm stripe whether it enters through
+    the router or hits a backend socket directly.
+    """
+    payload = "\x1f".join(str(record.get(field)) for field in _AFFINITY_FIELDS)
+    return zlib.crc32(payload.encode("utf-8", "backslashreplace"))
+
+
 def _affinity_stripe(record, stripes):
     """Stable content hash of a query onto ``range(stripes)``.
 
     Identical queries must map to the same stripe so repeats hit that
-    session's caches; crc32 (not ``hash``) keeps the mapping stable across
-    processes and ``PYTHONHASHSEED``.
+    session's caches.
     """
-    payload = "\x1f".join(str(record.get(field)) for field in _AFFINITY_FIELDS)
-    return zlib.crc32(payload.encode("utf-8", "backslashreplace")) % stripes
+    return affinity_hash(record) % stripes
 
 
 def _merge_cache_tables(into, tables):
@@ -432,6 +444,10 @@ class ThreadExecutionBackend:
         # everything is already in the server-side registry.
         return None
 
+    def refresh_stats(self, timeout=None):
+        # In-process stats are always exact; nothing to pull.
+        return 0
+
     def export_snapshot(self):
         return self.pool.export_snapshot()
 
@@ -446,6 +462,20 @@ class ThreadExecutionBackend:
 #: snapshot from the worker process; between snapshots the supervisor serves
 #: the last one it saw.
 _STATS_SNAPSHOT_PERIOD = 16
+
+
+def _full_metrics(metrics):
+    """A worker's metrics snapshot merged with its process-global counters.
+
+    Instrumentation that cannot see the worker's registry — e.g. the test
+    oracle wrapper counting out-of-process solver calls
+    (:mod:`repro.engine.testing`) — records into the process-global registry
+    (:func:`repro.engine.telemetry.process_metrics`); merging the two here
+    makes those counters ride the same stats pipe to the supervisor.
+    """
+    from repro.engine.telemetry import process_metrics
+
+    return merge_metrics([metrics.snapshot(), process_metrics().snapshot()])
 
 
 def _process_worker_main(conn, config):
@@ -510,6 +540,14 @@ def _process_worker_main(conn, config):
             else:
                 conn.send(("snapshot_ok", seq, payload))
             continue
+        # On-demand stats (same shape as the piggybacked snapshot): lets the
+        # supervisor collect *exact* post-drain numbers — e.g. total oracle
+        # calls for a benchmark — instead of the bounded-staleness piggyback.
+        if tag == "stats_pull":
+            seq = message[1]
+            conn.send(("stats", seq,
+                       {"pool": pool.stats(), "metrics": _full_metrics(metrics)}))
+            continue
         _, seq, wire, fallback_id, remaining_ms, deadline_ms = message
         exec_started = time.monotonic()
         try:
@@ -555,7 +593,7 @@ def _process_worker_main(conn, config):
         # extra IPC — and the parent keeps the latest per worker.  The worker
         # metrics registry rides along on the same cadence and is merged in
         # the parent by ``merge_metrics``, like ``merge_pool_stats``.
-        snapshot = {"pool": pool.stats(), "metrics": metrics.snapshot()} \
+        snapshot = {"pool": pool.stats(), "metrics": _full_metrics(metrics)} \
             if served <= 4 or served % _STATS_SNAPSHOT_PERIOD == 0 else None
         conn.send(("done", seq, wire_response, snapshot))
 
@@ -862,6 +900,31 @@ class ProcessExecutionBackend:
         if not snapshots:
             return None
         return merge_metrics(snapshots)
+
+    def refresh_stats(self, timeout=30.0):
+        """Pull a fresh stats snapshot from every reachable worker *now*.
+
+        The piggybacked snapshots trail the hot path by up to
+        :data:`_STATS_SNAPSHOT_PERIOD` responses; call this after a drain when
+        exact totals matter (``bench_serve.py`` uses it so the process
+        backend's oracle-call count is comparable with the in-process modes).
+        Busy or crashed workers keep their last piggybacked snapshot.
+        Returns the number of workers that answered.
+        """
+        refreshed = 0
+        for handle in self._handles:
+            try:
+                reply = handle.call("stats_pull", timeout=timeout)
+            except WorkerCrashed:
+                continue  # the next exec on this shard respawns it
+            if reply is None or reply[0] != "stats":
+                continue
+            snapshot = reply[2]
+            with self._stats_lock:
+                self._last_pool_stats[handle.index] = snapshot["pool"]
+                self._last_metrics[handle.index] = snapshot["metrics"]
+            refreshed += 1
+        return refreshed
 
     def import_snapshot(self, payload):
         """Broadcast a snapshot payload to every worker (and remember it).
@@ -1475,6 +1538,14 @@ class QueryServer:
         worker = self.backend.worker_metrics()
         if worker is not None:
             snapshots.append(worker)
+        # Ambient process-global counters (e.g. the test oracle wrapper's
+        # oracle_calls_total under the thread backend, where execution happens
+        # in this very process).  Under the process backend the same counters
+        # arrive via the workers' piggybacked snapshots instead; this
+        # process's registry is simply empty then — no double counting.
+        from repro.engine.telemetry import process_metrics
+
+        snapshots.append(process_metrics().snapshot())
         merged = merge_metrics(snapshots)
         with self._state:
             gauge_values = {

@@ -243,7 +243,37 @@ _HELP = {
     "in_flight": "Requests queued or executing.",
     "workers": "Scheduler worker count.",
     "stripes": "Session stripes per theory.",
+    "oracle_calls_total": "Out-of-process theory-oracle calls (test oracle wrapper).",
+    "router_requests_total": "Requests forwarded by the cluster router, by backend/outcome.",
+    "router_rejected_total": "Requests the router refused at admission (rate limit, queue full, shutdown).",
+    "router_retries_total": "Requests re-dispatched to another replica after a backend failure.",
+    "router_ejections_total": "Backends ejected from the hash ring after a failed probe or broken connection.",
+    "router_rejoins_total": "Backends readmitted to the hash ring after a successful probe.",
+    "router_backend_latency_ms": "Router-observed per-backend round-trip latency (send to response).",
+    "router_backends_up": "Backends currently in the hash ring.",
+    "router_backends_down": "Configured backends currently ejected.",
+    "router_queue_depth": "Requests admitted by the router, not yet answered.",
 }
+
+
+# ---------------------------------------------------------------------------
+# Process-global registry
+# ---------------------------------------------------------------------------
+
+_PROCESS_METRICS = MetricsRegistry()
+
+
+def process_metrics():
+    """This process's ambient :class:`MetricsRegistry`.
+
+    For instrumentation points that have no handle on a server's registry —
+    e.g. a theory wrapper constructed deep inside a worker process counting
+    oracle calls.  The process backend merges this registry into each
+    worker's piggybacked stats snapshot, so counters recorded here surface in
+    the parent's ``metrics`` op like any other worker metric.  (Each worker
+    process gets its own instance: workers are spawned, not forked.)
+    """
+    return _PROCESS_METRICS
 
 
 def _escape_label(value):

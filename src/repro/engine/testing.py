@@ -27,7 +27,26 @@ from __future__ import annotations
 import os
 import time
 
+from repro.engine.telemetry import process_metrics
 from repro.theories import build_theory
+
+
+class _ProcessMetricsCounter:
+    """Counter adapter bumping ``oracle_calls_total`` in the process-global
+    metrics registry.
+
+    Inside a spawned worker that registry's snapshot rides the stats pipe to
+    the supervisor (see ``_full_metrics`` in :mod:`repro.engine.server`), so
+    oracle-call counts from worker processes are visible to the parent — the
+    serve benchmark reads them off ``metrics_snapshot()`` to make the process
+    backend's accounting comparable with the in-process modes.
+    """
+
+    def __init__(self, theory_name):
+        self._labels = (("theory", theory_name),)
+
+    def bump(self):
+        process_metrics().inc("oracle_calls_total", self._labels)
 
 
 class OracleLatencyTheory:
@@ -76,4 +95,5 @@ def oracle_latency_factory(theory_name):
     if only and theory_name.lower() not in {name.strip().lower()
                                             for name in only.split(",") if name.strip()}:
         return theory
-    return OracleLatencyTheory(theory, delay_ms / 1000.0)
+    return OracleLatencyTheory(theory, delay_ms / 1000.0,
+                               counter=_ProcessMetricsCounter(theory_name))

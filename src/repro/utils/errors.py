@@ -161,6 +161,15 @@ class WorkerCrashed(KmtError):
     """
 
 
+class BackendDown(KmtError):
+    """No reachable backend could serve a routed request.
+
+    Raised inside the cluster router when the backend a request hashes to is
+    ejected from the ring and every retry replica fails (or none is left);
+    the router converts it into a structured ``backend_down`` error response.
+    """
+
+
 class QueryCancelled(KmtError):
     """A long-running query was cancelled cooperatively.
 

@@ -10,7 +10,6 @@ and the ``"cached"`` flag).
 
 import io
 import json
-import socket
 import threading
 import time
 
@@ -19,6 +18,7 @@ import pytest
 from repro.core import automata
 from repro.engine.batch import serve
 from repro.engine.cache import DERIVATIVE_CACHE, EngineCaches, LRUCache
+from repro.engine.client import SocketClient
 from repro.engine.server import (
     QueryServer,
     ResponseSink,
@@ -343,14 +343,10 @@ class TestSocketMode:
             results = {}
 
             def client(n):
-                conn = socket.create_connection(("127.0.0.1", srv.port))
-                stream = conn.makefile("rw", encoding="utf-8")
-                for i in range(5):
-                    stream.write(record(op="sat", pred=f"x > {i}", id=f"c{n}-{i}") + "\n")
-                stream.write(record(op="quit") + "\n")
-                stream.flush()
-                results[n] = [json.loads(line) for line in stream]
-                conn.close()
+                with SocketClient("127.0.0.1", srv.port) as conn:
+                    results[n] = conn.ask(
+                        [{"op": "sat", "pred": f"x > {i}", "id": f"c{n}-{i}"}
+                         for i in range(5)])
 
             threads = [threading.Thread(target=client, args=(n,)) for n in range(3)]
             for thread in threads:
@@ -365,20 +361,11 @@ class TestSocketMode:
 
     def test_quit_is_connection_scoped(self):
         with SocketServer(port=0, workers=2) as srv:
-            first = socket.create_connection(("127.0.0.1", srv.port))
-            stream = first.makefile("rw", encoding="utf-8")
-            stream.write(record(op="quit") + "\n")
-            stream.flush()
-            assert stream.read() == ""  # drained and closed...
-            first.close()
+            with SocketClient("127.0.0.1", srv.port) as first:
+                assert first.ask([]) == []  # quit: drained and closed...
 
-            second = socket.create_connection(("127.0.0.1", srv.port))
-            stream2 = second.makefile("rw", encoding="utf-8")
-            stream2.write(record(op="sat", pred="x > 1", id="later") + "\n")
-            stream2.write(record(op="quit") + "\n")
-            stream2.flush()
-            replies = [json.loads(line) for line in stream2]
-            second.close()
+            with SocketClient("127.0.0.1", srv.port) as second:
+                replies = second.ask([{"op": "sat", "pred": "x > 1", "id": "later"}])
         assert [r["id"] for r in replies] == ["later"]  # ...but the server lives on
 
     def test_socket_out_of_order_and_ordered(self):
@@ -387,14 +374,8 @@ class TestSocketMode:
             with SocketServer(port=0, ordered=ordered, server=query_server) as srv:
                 slow = _equiv(1, id="slow")
                 fast = _fast_line_on_other_worker(query_server, slow, id="fast")
-                conn = socket.create_connection(("127.0.0.1", srv.port))
-                stream = conn.makefile("rw", encoding="utf-8")
-                stream.write(slow + "\n")
-                stream.write(fast + "\n")
-                stream.write(record(op="quit") + "\n")
-                stream.flush()
-                replies = [json.loads(line) for line in stream]
-                conn.close()
+                with SocketClient("127.0.0.1", srv.port) as conn:
+                    replies = conn.ask([json.loads(slow), json.loads(fast)])
             assert [r["id"] for r in replies] == expected, f"ordered={ordered}"
 
 

@@ -26,7 +26,6 @@ import json
 import os
 import random
 import signal
-import socket
 import time
 
 import pytest
@@ -746,16 +745,13 @@ class TestProcessBackendSpecifics:
         assert info[0]["restarts"] == 0
 
     def test_socket_mode_runs_on_the_process_backend(self):
+        from repro.engine.client import SocketClient
+
         query_server = QueryServer(workers=2, backend="process")
         with SocketServer(port=0, server=query_server) as srv:
-            conn = socket.create_connection(("127.0.0.1", srv.port))
-            stream = conn.makefile("rw", encoding="utf-8")
-            for i in range(3):
-                stream.write(record(op="sat", pred=f"x > {i}", id=f"s{i}") + "\n")
-            stream.write(record(op="quit") + "\n")
-            stream.flush()
-            replies = [json.loads(line) for line in stream]
-            conn.close()
+            with SocketClient("127.0.0.1", srv.port) as conn:
+                replies = conn.ask([{"op": "sat", "pred": f"x > {i}", "id": f"s{i}"}
+                                    for i in range(3)])
         assert sorted(reply["id"] for reply in replies) == ["s0", "s1", "s2"]
         assert all(reply["ok"] for reply in replies)
 
